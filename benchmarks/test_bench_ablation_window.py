@@ -1,0 +1,92 @@
+"""E6 (ablation) — cache capacity and admission-window size.
+
+DESIGN.md calls out two GC design knobs that the demo exposes but does not
+sweep: the cache capacity (how many executed queries are retained) and the
+window size (how many executed queries are batched before the replacement
+policy runs).  This ablation regenerates both sweeps on a fixed workload and
+checks the expected monotone-ish shape: more capacity ⇒ at least as many
+sub-iso tests saved; very large admission windows delay admission and cannot
+beat small windows on a short workload.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime import GCConfig, GraphCacheSystem
+from repro.workload import run_workload
+
+from benchmarks.harness import rows_to_report, standard_dataset, standard_workload
+
+CAPACITIES = [5, 10, 20, 40]
+WINDOW_SIZES = [1, 5, 10, 20]
+
+
+@pytest.fixture(scope="module")
+def setting():
+    dataset = standard_dataset(60, seed=88, min_vertices=10, max_vertices=30)
+    workload = standard_workload(dataset, 60, "popular", seed=89, name="ablation")
+    return dataset, workload
+
+
+def run_config(dataset, workload, capacity, window_size):
+    config = GCConfig(cache_capacity=capacity, window_size=window_size,
+                      replacement_policy="HD", method="graphgrep-sx",
+                      method_options={"feature_size": 1})
+    system = GraphCacheSystem(dataset, config)
+    return run_workload(system, workload)
+
+
+def test_bench_ablation_capacity_and_window(benchmark, setting):
+    """Sweep cache capacity and window size; regenerate the ablation table."""
+    dataset, workload = setting
+
+    capacity_rows = []
+    capacity_speedups = {}
+    for capacity in CAPACITIES:
+        result = run_config(dataset, workload, capacity, window_size=5)
+        capacity_speedups[capacity] = result.aggregate.test_speedup
+        capacity_rows.append({
+            "sweep": "capacity",
+            "value": capacity,
+            "hit_ratio": round(result.aggregate.hit_ratio, 3),
+            "test_speedup": round(result.aggregate.test_speedup, 3),
+            "dataset_tests": result.aggregate.total_dataset_tests,
+            "cache_bytes": result.cache_memory_bytes,
+        })
+
+    window_rows = []
+    window_speedups = {}
+    for window in WINDOW_SIZES:
+        result = run_config(dataset, workload, capacity=20, window_size=window)
+        window_speedups[window] = result.aggregate.test_speedup
+        window_rows.append({
+            "sweep": "window",
+            "value": window,
+            "hit_ratio": round(result.aggregate.hit_ratio, 3),
+            "test_speedup": round(result.aggregate.test_speedup, 3),
+            "dataset_tests": result.aggregate.total_dataset_tests,
+            "cache_bytes": result.cache_memory_bytes,
+        })
+
+    table = rows_to_report(
+        "E6_ablation_window_capacity",
+        "E6: ablation — cache capacity and admission-window size",
+        capacity_rows + window_rows,
+        columns=["sweep", "value", "hit_ratio", "test_speedup", "dataset_tests", "cache_bytes"],
+    )
+    print("\n" + table)
+
+    # shape: the largest capacity is at least as good as the smallest
+    assert capacity_speedups[CAPACITIES[-1]] >= capacity_speedups[CAPACITIES[0]] - 1e-9
+    # shape: all configurations still beat the no-cache baseline
+    assert all(speedup >= 1.0 for speedup in capacity_speedups.values())
+    assert all(speedup >= 1.0 for speedup in window_speedups.values())
+    # shape: a small window (prompt admission) beats or matches the largest
+    # window (which leaves queries unadmitted for long stretches)
+    assert window_speedups[WINDOW_SIZES[0]] >= window_speedups[WINDOW_SIZES[-1]] - 1e-9
+
+    benchmark.pedantic(
+        lambda: run_config(dataset, workload, capacity=20, window_size=5),
+        rounds=1, iterations=1,
+    )

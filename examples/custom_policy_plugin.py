@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Developer scenario (paper §3.3): plug a custom replacement policy into GC.
+
+The demo's developer dashboard shows the abstract ``Cache`` class whose three
+methods an extension author overrides.  This example does exactly that in
+Python: it defines a new policy ("ANSWER", which keeps the cached queries
+with the largest answer sets), registers it, and benchmarks it against the
+bundled policies on the same workload — without touching any library code.
+
+Run with:  python examples/custom_policy_plugin.py
+"""
+
+from __future__ import annotations
+
+from repro import GCConfig, molecule_dataset
+from repro.cache import ReplacementPolicy, register_policy, available_policies
+from repro.cache.entry import CacheEntry
+from repro.dashboard import policy_speedup_table
+from repro.workload import WorkloadGenerator, compare_policies
+
+
+class AnswerSizePolicy(ReplacementPolicy):
+    """Keep the cached queries whose answer sets are largest.
+
+    Intuition: for subgraph queries, a cached query with a large answer set
+    can guarantee many answers when it turns out to be a sub-case hit.  The
+    three paper-mandated extension points are ``utility`` (ranking, used by
+    the inherited ``get_replaced_content``/``update_cache_items``) and the
+    inherited ``update_cache_sta_info`` statistics bookkeeping.
+    """
+
+    name = "ANSWER"
+
+    def utility(self, entry: CacheEntry) -> float:
+        # answer size dominates; recency breaks ties between equals
+        return len(entry.answer) * 1000.0 + entry.stats.last_used_clock
+
+
+def main() -> None:
+    register_policy(AnswerSizePolicy.name, AnswerSizePolicy, overwrite=True)
+    print(f"Registered policies: {', '.join(available_policies())}\n")
+
+    dataset = molecule_dataset(80, min_vertices=10, max_vertices=30, rng=12)
+    generator = WorkloadGenerator(dataset, rng=13)
+    workload = generator.generate(80, mix="popular", name="plugin-benchmark")
+
+    config = GCConfig(cache_capacity=25, window_size=5,
+                      method="graphgrep-sx", method_options={"feature_size": 2})
+    results = compare_policies(dataset, workload, ["LRU", "HD", "ANSWER"], config=config)
+
+    print("Custom policy vs bundled policies on the same workload:\n")
+    print(policy_speedup_table(results))
+    best = max(results.items(), key=lambda item: item[1].test_speedup)
+    print(f"\nBest policy on this workload: {best[0]} "
+          f"({best[1].test_speedup:.2f}x fewer sub-iso tests than Method M alone)")
+
+
+if __name__ == "__main__":
+    main()

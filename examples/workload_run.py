@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Scenario II — The Workload Run (paper §3.2, Fig. 2b/2c).
+
+Runs a workload of queries over GC under every bundled replacement policy
+(LRU, POP, PIN, PINC, HD) on identical fresh systems, then shows:
+
+* the per-query cache-hit percentage of one run (Fig. 2b);
+* which cached graphs each policy evicted — different policies evict
+  different graphs (Fig. 2c);
+* the policy comparison table (experiment I's "competition").
+
+Run with:  python examples/workload_run.py
+"""
+
+from __future__ import annotations
+
+from repro import GCConfig, molecule_dataset
+from repro.cache import available_policies
+from repro.dashboard import WorkloadRunView, policy_speedup_table, replacement_comparison
+from repro.runtime.system import GraphCacheSystem
+from repro.workload import WorkloadGenerator, WorkloadMix, run_workload
+
+
+def main() -> None:
+    dataset = molecule_dataset(100, min_vertices=10, max_vertices=35, rng=3)
+    generator = WorkloadGenerator(dataset, rng=4)
+
+    # the demo: a cache full of 50 executed queries, then a workload of 10
+    warm_mix = WorkloadMix(pool_size=30, repeat_fraction=0.3, shrink_fraction=0.3,
+                           extend_fraction=0.3, fresh_fraction=0.1,
+                           min_pattern_vertices=6, max_pattern_vertices=12)
+    warmup = generator.generate(50, mix=warm_mix, name="warmup")
+    workload = generator.generate(10, mix="popular", name="the-workload-run")
+
+    policies = [name for name in ["LRU", "POP", "PIN", "PINC", "HD"]
+                if name in available_policies()]
+    results = {}
+    populations = {}
+    for policy in policies:
+        config = GCConfig(cache_capacity=50, window_size=10, replacement_policy=policy,
+                          method="graphgrep-sx", method_options={"feature_size": 1})
+        system = GraphCacheSystem(dataset, config)
+        system.warm_cache(list(warmup))
+        populations[policy] = [entry.entry_id for entry in system.cache.entries()]
+        results[policy] = run_workload(system, workload)
+
+    # Fig. 2(b): per-query hit percentages for the HD run
+    view = WorkloadRunView(results["HD"])
+    print(view.render_text())
+
+    # Fig. 2(c): replacement decisions differ across policies
+    print()
+    print(replacement_comparison(results, populations))
+
+    # experiment I flavour: the comparison table
+    print("\nPolicy comparison on this workload:")
+    print(policy_speedup_table(results))
+
+
+if __name__ == "__main__":
+    main()

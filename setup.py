@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file exists
+so the package can be installed in environments whose setuptools/pip lack the
+``wheel`` package needed for PEP 660 editable installs (offline boxes).
+"""
+
+from setuptools import setup
+
+setup()

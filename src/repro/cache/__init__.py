@@ -1,0 +1,74 @@
+"""The GC cache kernel: entries, store, policies, window, hit processors."""
+
+from repro.cache.entry import CacheEntry, EntryStatistics
+from repro.cache.graph_cache import CacheLookup, GraphCache
+from repro.cache.policies import (
+    EvictionReport,
+    FIFOPolicy,
+    HDPolicy,
+    HitContribution,
+    HitKind,
+    LRUPolicy,
+    PINCPolicy,
+    PINPolicy,
+    POPPolicy,
+    RandomPolicy,
+    ReplacementPolicy,
+    SizePolicy,
+    available_policies,
+    make_policy,
+    register_policy,
+)
+from repro.cache.persistence import (
+    entry_from_dict,
+    entry_to_dict,
+    load_cache_entries,
+    restore_cache,
+    save_cache,
+)
+from repro.cache.pruner import CandidateSetPruner, PruningResult
+from repro.cache.query_index import CachedQueryIndex
+from repro.cache.statistics import AggregateStatistics, QueryRecord, StatisticsManager
+from repro.cache.store import CacheStore
+from repro.cache.subcase import ProbeOutcome, SubCaseProcessor
+from repro.cache.supercase import SuperCaseProcessor
+from repro.cache.window import WindowManager, WindowSnapshot
+
+__all__ = [
+    "CacheEntry",
+    "EntryStatistics",
+    "CacheStore",
+    "GraphCache",
+    "CacheLookup",
+    "CachedQueryIndex",
+    "SubCaseProcessor",
+    "SuperCaseProcessor",
+    "ProbeOutcome",
+    "CandidateSetPruner",
+    "PruningResult",
+    "WindowManager",
+    "WindowSnapshot",
+    "StatisticsManager",
+    "QueryRecord",
+    "AggregateStatistics",
+    "ReplacementPolicy",
+    "HitKind",
+    "HitContribution",
+    "EvictionReport",
+    "LRUPolicy",
+    "POPPolicy",
+    "PINPolicy",
+    "PINCPolicy",
+    "HDPolicy",
+    "FIFOPolicy",
+    "RandomPolicy",
+    "SizePolicy",
+    "register_policy",
+    "available_policies",
+    "make_policy",
+    "save_cache",
+    "restore_cache",
+    "load_cache_entries",
+    "entry_to_dict",
+    "entry_from_dict",
+]

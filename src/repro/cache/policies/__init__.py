@@ -1,0 +1,37 @@
+"""Graph-cache replacement policies: LRU, POP, PIN, PINC and HD."""
+
+from repro.cache.policies.base import (
+    EvictionReport,
+    HitContribution,
+    HitKind,
+    ReplacementPolicy,
+)
+from repro.cache.policies.extra import FIFOPolicy, RandomPolicy, SizePolicy
+from repro.cache.policies.hd import HDPolicy
+from repro.cache.policies.lru import LRUPolicy
+from repro.cache.policies.pin import PINPolicy
+from repro.cache.policies.pinc import PINCPolicy
+from repro.cache.policies.pop import POPPolicy
+from repro.cache.policies.registry import (
+    available_policies,
+    make_policy,
+    register_policy,
+)
+
+__all__ = [
+    "ReplacementPolicy",
+    "HitKind",
+    "HitContribution",
+    "EvictionReport",
+    "LRUPolicy",
+    "POPPolicy",
+    "PINPolicy",
+    "PINCPolicy",
+    "HDPolicy",
+    "FIFOPolicy",
+    "RandomPolicy",
+    "SizePolicy",
+    "register_policy",
+    "available_policies",
+    "make_policy",
+]

@@ -1,0 +1,161 @@
+"""Replacement policy interface (the developer "Cache class" of Fig. 2(d)).
+
+The paper's developer dashboard asks extension authors to override three
+abstract methods; this class mirrors them with Pythonic names:
+
+* ``update_cache_sta_info``  — update a cached graph's utility statistics when
+  it contributes to accelerating another query;
+* ``get_replaced_content``   — return the positions of the top-*x* cached
+  graphs with the least utility (eviction candidates);
+* ``update_cache_items``     — perform the actual replacement: evict the
+  least-useful entries so newly executed queries fit.
+
+Concrete policies normally only implement :meth:`utility`; the three methods
+above have sensible default implementations driven by it.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from dataclasses import dataclass, field
+from collections.abc import Sequence
+
+from repro.cache.entry import CacheEntry
+from repro.cache.store import CacheStore
+from repro.errors import CacheError
+
+
+class HitKind(enum.Enum):
+    """How a cached entry contributed to a new query."""
+
+    SUB = "sub"        # the new query is a subgraph of the cached query
+    SUPER = "super"    # the new query is a supergraph of the cached query
+    EXACT = "exact"    # the new query is isomorphic to the cached query
+
+
+@dataclass
+class HitContribution:
+    """The benefit one cached entry delivered to one new query."""
+
+    kind: HitKind
+    clock: int
+    tests_saved: int = 0
+    seconds_saved: float = 0.0
+
+
+@dataclass
+class EvictionReport:
+    """Outcome of one replacement round (consumed by dashboards/tests)."""
+
+    admitted: list[int] = field(default_factory=list)
+    evicted: list[int] = field(default_factory=list)
+    capacity: int = 0
+
+    @property
+    def num_admitted(self) -> int:
+        return len(self.admitted)
+
+    @property
+    def num_evicted(self) -> int:
+        return len(self.evicted)
+
+
+class ReplacementPolicy(abc.ABC):
+    """Base class for graph-cache replacement policies."""
+
+    name: str = "abstract"
+
+    # ------------------------------------------------------------------ #
+    # statistics maintenance
+    # ------------------------------------------------------------------ #
+    def update_cache_sta_info(self, entry: CacheEntry, contribution: HitContribution) -> None:
+        """Fold one hit's benefit into the entry's statistics.
+
+        The default bookkeeping is shared by every built-in policy; policies
+        that need extra state can override and call ``super()``.
+        """
+        stats = entry.stats
+        stats.last_used_clock = max(stats.last_used_clock, contribution.clock)
+        stats.hit_count += 1
+        if contribution.kind is HitKind.SUB:
+            stats.sub_hits += 1
+        elif contribution.kind is HitKind.SUPER:
+            stats.super_hits += 1
+        else:
+            stats.exact_hits += 1
+        stats.tests_saved += contribution.tests_saved
+        stats.seconds_saved += contribution.seconds_saved
+
+    # ------------------------------------------------------------------ #
+    # ranking
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def utility(self, entry: CacheEntry) -> float:
+        """Utility score of a cached entry: higher means more worth keeping."""
+
+    def get_replaced_content(self, entries: Sequence[CacheEntry], count: int) -> list[int]:
+        """Positions (indices into ``entries``) of the ``count`` least useful entries.
+
+        Ties are broken towards evicting the least recently used, then the
+        oldest admission, so every policy is deterministic.
+        """
+        if count <= 0:
+            return []
+        ranked = sorted(
+            range(len(entries)),
+            key=lambda position: (
+                self.utility(entries[position]),
+                entries[position].stats.last_used_clock,
+                entries[position].admitted_clock,
+                entries[position].entry_id,
+            ),
+        )
+        return ranked[: min(count, len(entries))]
+
+    # ------------------------------------------------------------------ #
+    # replacement
+    # ------------------------------------------------------------------ #
+    def update_cache_items(
+        self, store: CacheStore, incoming: Sequence[CacheEntry], capacity: int
+    ) -> EvictionReport:
+        """Admit ``incoming`` entries into ``store``, evicting as necessary.
+
+        Admission is *utility aware*: when the cache is full, an incoming
+        entry only displaces a resident entry whose utility is lower than the
+        incoming entry's utility — otherwise the incoming entry is rejected.
+        (A brand-new entry has whatever utility the policy assigns to its
+        fresh statistics; for the built-in policies that makes new entries
+        win against never-hit residents via recency tie-breaks.)
+        """
+        if capacity <= 0:
+            raise CacheError("cache capacity must be positive")
+        report = EvictionReport(capacity=capacity)
+        for entry in incoming:
+            if entry.entry_id in store:
+                continue
+            if len(store) < capacity:
+                store.add(entry)
+                report.admitted.append(entry.entry_id)
+                continue
+            residents = store.entries()
+            victim_positions = self.get_replaced_content(residents, 1)
+            if not victim_positions:
+                continue
+            victim = residents[victim_positions[0]]
+            incoming_utility = self.utility(entry)
+            victim_utility = self.utility(victim)
+            should_replace = incoming_utility > victim_utility or (
+                incoming_utility == victim_utility
+                and entry.admitted_clock >= victim.admitted_clock
+            )
+            if should_replace:
+                store.remove(victim.entry_id)
+                store.add(entry)
+                report.evicted.append(victim.entry_id)
+                report.admitted.append(entry.entry_id)
+        return report
+
+    def describe(self) -> dict[str, object]:
+        """Describe the policy for reports."""
+        return {"name": self.name}

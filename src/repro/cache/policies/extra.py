@@ -1,0 +1,63 @@
+"""Additional baseline replacement policies (FIFO, RANDOM, SIZE).
+
+These are not part of the five policies the paper bundles; they exist as the
+kind of drop-in extensions §3.3 invites ("alternative graph cache replacement
+strategies could be swiftly incorporated") and as extra baselines for the
+policy-competition experiment.  All three reuse the default
+``update_cache_sta_info`` / ``get_replaced_content`` / ``update_cache_items``
+machinery of :class:`ReplacementPolicy` and only define a utility.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.cache.entry import CacheEntry
+from repro.cache.policies.base import ReplacementPolicy
+
+
+class FIFOPolicy(ReplacementPolicy):
+    """Evict the cached query that was admitted first."""
+
+    name = "FIFO"
+
+    def utility(self, entry: CacheEntry) -> float:
+        """Utility is simply the admission clock (older = evict first)."""
+        return float(entry.admitted_clock)
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Evict a pseudo-random cached query (deterministic per entry).
+
+    The "randomness" is a hash of the entry id and a seed, so runs are
+    reproducible and the ranking is stable across calls — which is all a
+    baseline needs.
+    """
+
+    name = "RANDOM"
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+
+    def utility(self, entry: CacheEntry) -> float:
+        digest = hashlib.blake2b(
+            f"{self.seed}:{entry.entry_id}".encode("utf-8"), digest_size=8
+        ).digest()
+        return float(int.from_bytes(digest, "big"))
+
+    def describe(self) -> dict[str, object]:
+        return {"name": self.name, "seed": self.seed}
+
+
+class SizePolicy(ReplacementPolicy):
+    """Keep the largest cached query graphs (a crude PIN proxy).
+
+    Larger cached queries are more selective containers: when they produce a
+    sub-case hit their answer sets are tight, and as super-case hits they
+    prune aggressively.  Useful as a statistics-free baseline.
+    """
+
+    name = "SIZE"
+
+    def utility(self, entry: CacheEntry) -> float:
+        return float(entry.num_vertices * 1000 + entry.num_edges)

@@ -1,0 +1,21 @@
+"""LRU replacement: evict the least recently *useful* cached query.
+
+"Recently used" for a graph cache means the last logical time the entry
+produced a cache hit (or was admitted) — the well-established baseline the
+paper bundles for comparison.
+"""
+
+from __future__ import annotations
+
+from repro.cache.entry import CacheEntry
+from repro.cache.policies.base import ReplacementPolicy
+
+
+class LRUPolicy(ReplacementPolicy):
+    """Least-recently-used graph replacement."""
+
+    name = "LRU"
+
+    def utility(self, entry: CacheEntry) -> float:
+        """Utility is simply the last hit/admission clock (newer = keep)."""
+        return float(max(entry.stats.last_used_clock, entry.admitted_clock))

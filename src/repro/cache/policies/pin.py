@@ -1,0 +1,23 @@
+"""PIN replacement: utility measured in *sub-iso tests saved*.
+
+The paper: "PIN and PINC where graph utilities go down to the level of
+sub-iso test numbers and sub-iso testing costs, respectively".  PIN credits a
+cached query with the number of dataset sub-iso tests it allowed later
+queries to skip, so entries whose answer sets keep pruning many candidates
+survive.
+"""
+
+from __future__ import annotations
+
+from repro.cache.entry import CacheEntry
+from repro.cache.policies.base import ReplacementPolicy
+
+
+class PINPolicy(ReplacementPolicy):
+    """Sub-iso-test-savings based graph replacement."""
+
+    name = "PIN"
+
+    def utility(self, entry: CacheEntry) -> float:
+        """Utility is the cumulative number of dataset sub-iso tests saved."""
+        return float(entry.stats.tests_saved)

@@ -1,0 +1,22 @@
+"""PINC replacement: utility measured in *sub-iso testing time saved*.
+
+Each skipped sub-iso test can have a wildly different cost (the paper: "each
+cache hit shall evoke various numbers of savings in sub-iso testing, which
+could in turn render quite different query times").  PINC therefore accounts
+utility in seconds of verification time saved rather than test counts.
+"""
+
+from __future__ import annotations
+
+from repro.cache.entry import CacheEntry
+from repro.cache.policies.base import ReplacementPolicy
+
+
+class PINCPolicy(ReplacementPolicy):
+    """Sub-iso-cost-savings based graph replacement."""
+
+    name = "PINC"
+
+    def utility(self, entry: CacheEntry) -> float:
+        """Utility is the cumulative verification time (seconds) saved."""
+        return entry.stats.seconds_saved

@@ -1,0 +1,21 @@
+"""POP replacement: popularity-based eviction.
+
+A cached query's utility is the number of times it has contributed a hit
+(sub, super or exact) to later queries.  Popular patterns — the "broad then
+narrow" query sequences the paper's introduction motivates — stay cached.
+"""
+
+from __future__ import annotations
+
+from repro.cache.entry import CacheEntry
+from repro.cache.policies.base import ReplacementPolicy
+
+
+class POPPolicy(ReplacementPolicy):
+    """Popularity (hit-count) based graph replacement."""
+
+    name = "POP"
+
+    def utility(self, entry: CacheEntry) -> float:
+        """Utility is the total number of hits the entry has produced."""
+        return float(entry.stats.hit_count)

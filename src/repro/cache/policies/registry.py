@@ -1,0 +1,57 @@
+"""Registry of replacement policies (the pluggable "Cache class" mechanism).
+
+New policies — e.g. one written by a developer following §3.3 of the paper —
+register a factory here and immediately become available to the runtime
+configuration, the workload runner and the benchmarks.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.cache.policies.base import ReplacementPolicy
+from repro.cache.policies.extra import FIFOPolicy, RandomPolicy, SizePolicy
+from repro.cache.policies.hd import HDPolicy
+from repro.cache.policies.lru import LRUPolicy
+from repro.cache.policies.pin import PINPolicy
+from repro.cache.policies.pinc import PINCPolicy
+from repro.cache.policies.pop import POPPolicy
+from repro.errors import UnknownPolicyError
+
+PolicyFactory = Callable[..., ReplacementPolicy]
+
+_REGISTRY: dict[str, PolicyFactory] = {}
+
+
+def register_policy(name: str, factory: PolicyFactory, overwrite: bool = False) -> None:
+    """Register a replacement-policy factory under a name."""
+    key = name.upper()
+    if key in _REGISTRY and not overwrite:
+        raise ValueError(f"policy {name!r} is already registered")
+    _REGISTRY[key] = factory
+
+
+def available_policies() -> list[str]:
+    """Names of all registered policies."""
+    return sorted(_REGISTRY)
+
+
+def make_policy(name: str, **kwargs) -> ReplacementPolicy:
+    """Instantiate a registered policy by name (case-insensitive)."""
+    factory = _REGISTRY.get(name.upper())
+    if factory is None:
+        raise UnknownPolicyError(name, available_policies())
+    return factory(**kwargs)
+
+
+# the five policies bundled with GC
+register_policy(LRUPolicy.name, LRUPolicy)
+register_policy(POPPolicy.name, POPPolicy)
+register_policy(PINPolicy.name, PINPolicy)
+register_policy(PINCPolicy.name, PINCPolicy)
+register_policy(HDPolicy.name, HDPolicy)
+
+# extra baselines (see repro.cache.policies.extra)
+register_policy(FIFOPolicy.name, FIFOPolicy)
+register_policy(RandomPolicy.name, RandomPolicy)
+register_policy(SizePolicy.name, SizePolicy)

@@ -1,0 +1,111 @@
+"""Candidate Set Pruner: turn cache hits into candidate-set reductions.
+
+Given Method M's candidate set ``C_M`` and the confirmed cache hits, the
+pruner computes the quantities of the paper's Query Journey (Fig. 3):
+
+* ``S``  — dataset graphs guaranteed to be answers (skip verification,
+  include directly in the answer);
+* ``S'`` — dataset graphs guaranteed NOT to be answers (skip verification,
+  exclude);
+* ``C``  — the remaining candidates that still require sub-iso verification.
+
+Which hit direction produces guarantees versus exclusions depends on the
+query semantics:
+
+==============  =======================  ==========================
+query type      sub case (g ⊆ h)         super case (h ⊆ g)
+==============  =======================  ==========================
+subgraph        answers(h) ⊆ answers(g)  answers(g) ⊆ answers(h)
+                → guaranteed answers      → prune to answers(h)
+supergraph      answers(g) ⊆ answers(h)  answers(h) ⊆ answers(g)
+                → prune to answers(h)     → guaranteed answers
+==============  =======================  ==========================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cache.entry import CacheEntry
+from repro.index.base import GraphId
+from repro.query_model import QueryType
+
+
+@dataclass
+class PruningResult:
+    """The Query Journey quantities for one query."""
+
+    method_candidates: set[GraphId] = field(default_factory=set)   # C_M
+    guaranteed_answers: set[GraphId] = field(default_factory=set)  # S
+    guaranteed_non_answers: set[GraphId] = field(default_factory=set)  # S'
+    remaining_candidates: set[GraphId] = field(default_factory=set)    # C
+    #: Per-hit individual contribution (entry_id → number of dataset tests
+    #: that hit would save on its own); used to credit utilities.
+    per_hit_savings: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def tests_saved(self) -> int:
+        """Dataset sub-iso tests avoided thanks to the cache."""
+        return len(self.method_candidates) - len(self.remaining_candidates)
+
+
+class CandidateSetPruner:
+    """Combines confirmed hits into the pruned candidate set."""
+
+    def prune(
+        self,
+        query_type: QueryType | str,
+        method_candidates: set[GraphId],
+        sub_hits: list[CacheEntry],
+        super_hits: list[CacheEntry],
+    ) -> PruningResult:
+        """Compute S, S' and C from Method M's candidates and the hits."""
+        query_type = QueryType.parse(query_type)
+        if query_type is QueryType.SUBGRAPH:
+            guarantee_hits, prune_hits = sub_hits, super_hits
+        else:
+            guarantee_hits, prune_hits = super_hits, sub_hits
+
+        result = PruningResult(method_candidates=set(method_candidates))
+
+        # S: union of answer sets of the guarantee-direction hits
+        for entry in guarantee_hits:
+            result.guaranteed_answers |= set(entry.answer)
+
+        # allowed: intersection of answer sets of the prune-direction hits
+        allowed: set[GraphId] | None = None
+        for entry in prune_hits:
+            answer = set(entry.answer)
+            allowed = answer if allowed is None else (allowed & answer)
+
+        remaining = set(method_candidates) - result.guaranteed_answers
+        if allowed is not None:
+            excluded = remaining - allowed
+            result.guaranteed_non_answers = excluded
+            remaining -= excluded
+        result.remaining_candidates = remaining
+
+        # individual contribution of every hit (independent of the others)
+        for entry in guarantee_hits:
+            result.per_hit_savings[entry.entry_id] = len(
+                set(entry.answer) & set(method_candidates)
+            )
+        for entry in prune_hits:
+            result.per_hit_savings[entry.entry_id] = len(
+                set(method_candidates) - set(entry.answer)
+            )
+        return result
+
+    def exact_hit_result(
+        self, method_candidates: set[GraphId], entry: CacheEntry
+    ) -> PruningResult:
+        """Pruning result for an exact-match hit: nothing is verified."""
+        answer = set(entry.answer)
+        result = PruningResult(
+            method_candidates=set(method_candidates),
+            guaranteed_answers=answer,
+            guaranteed_non_answers=set(method_candidates) - answer,
+            remaining_candidates=set(),
+        )
+        result.per_hit_savings[entry.entry_id] = len(method_candidates)
+        return result

@@ -1,0 +1,127 @@
+"""Index over the *cached queries* (the iGQ component underpinning GC).
+
+GC must quickly find, among the cached queries, the ones that could be
+subgraphs or supergraphs of a newly arrived query.  This index keeps, per
+cached entry, its feature multiset and WL hash, plus an inverted
+feature→entries table, and answers three screening questions:
+
+* which cached entries might *contain* the new query (sub-case candidates),
+* which cached entries might be *contained in* it (super-case candidates),
+* which cached entries might be *isomorphic* to it (exact-match candidates).
+
+Screening is by feature-multiset containment (plus cheap invariants); the
+definitive answer is produced later with real sub-iso "probe" tests by the
+sub/super case processors.  Screening must therefore never reject a true
+hit — the same no-false-dismissal contract as the dataset indexes.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.cache.entry import CacheEntry
+from repro.errors import CacheError
+from repro.features.base import FeatureExtractor, FeatureKey
+from repro.graph.canonical import quick_containment_screen
+from repro.graph.graph import Graph
+
+
+class CachedQueryIndex:
+    """Dynamic feature index over the cached query graphs."""
+
+    def __init__(self, extractor: FeatureExtractor) -> None:
+        self.extractor = extractor
+        self._entries: dict[int, CacheEntry] = {}
+        self._postings: dict[FeatureKey, set[int]] = {}
+
+    # ------------------------------------------------------------------ #
+    # maintenance
+    # ------------------------------------------------------------------ #
+    def add(self, entry: CacheEntry) -> None:
+        """Add a cached entry (its features are computed if missing)."""
+        if entry.entry_id in self._entries:
+            raise CacheError(f"entry {entry.entry_id} is already indexed")
+        if not entry.features:
+            entry.features = self.extractor.extract(entry.graph)
+        self._entries[entry.entry_id] = entry
+        for key in entry.features:
+            self._postings.setdefault(key, set()).add(entry.entry_id)
+
+    def remove(self, entry_id: int) -> None:
+        """Remove a cached entry from the index."""
+        entry = self._entries.pop(entry_id, None)
+        if entry is None:
+            raise CacheError(f"entry {entry_id} is not indexed")
+        for key in entry.features:
+            bucket = self._postings.get(key)
+            if bucket is not None:
+                bucket.discard(entry_id)
+                if not bucket:
+                    del self._postings[key]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, entry_id: int) -> bool:
+        return entry_id in self._entries
+
+    def entries(self) -> list[CacheEntry]:
+        """All indexed entries."""
+        return list(self._entries.values())
+
+    # ------------------------------------------------------------------ #
+    # screening
+    # ------------------------------------------------------------------ #
+    def query_features(self, query_graph: Graph) -> Counter[FeatureKey]:
+        """Extract the feature multiset of a new query graph."""
+        return self.extractor.extract(query_graph)
+
+    def sub_case_candidates(
+        self, query_graph: Graph, query_features: Counter[FeatureKey]
+    ) -> list[CacheEntry]:
+        """Cached entries that might *contain* the new query (query ⊆ entry)."""
+        candidates: list[CacheEntry] = []
+        for entry in self._entries.values():
+            if entry.num_vertices < query_graph.num_vertices:
+                continue
+            if not FeatureExtractor.multiset_contains(entry.features, query_features):
+                continue
+            if not quick_containment_screen(query_graph, entry.graph):
+                continue
+            candidates.append(entry)
+        return candidates
+
+    def super_case_candidates(
+        self, query_graph: Graph, query_features: Counter[FeatureKey]
+    ) -> list[CacheEntry]:
+        """Cached entries that might be *contained in* the new query (entry ⊆ query)."""
+        candidates: list[CacheEntry] = []
+        for entry in self._entries.values():
+            if entry.num_vertices > query_graph.num_vertices:
+                continue
+            if not FeatureExtractor.multiset_contains(query_features, entry.features):
+                continue
+            if not quick_containment_screen(entry.graph, query_graph):
+                continue
+            candidates.append(entry)
+        return candidates
+
+    def exact_candidates(self, query_graph: Graph) -> list[CacheEntry]:
+        """Cached entries that might be isomorphic to the new query."""
+        wl = query_graph.wl_hash()
+        signature = query_graph.size_signature()
+        return [
+            entry
+            for entry in self._entries.values()
+            if entry.wl_hash == wl and entry.graph.size_signature() == signature
+        ]
+
+    # ------------------------------------------------------------------ #
+    # accounting
+    # ------------------------------------------------------------------ #
+    def memory_bytes(self) -> int:
+        """Approximate footprint of the postings (entries are owned by the store)."""
+        total = 0
+        for key, bucket in self._postings.items():
+            total += len(repr(key)) + 60 + 8 * len(bucket)
+        return total

@@ -1,0 +1,171 @@
+"""Statistics Manager / Statistics Monitor: per-query and global metrics.
+
+Everything the Demonstrator reports — numbers of sub-iso tests, query times,
+hit counts, speedups — is accumulated here.  One :class:`QueryRecord` is
+appended per processed query; aggregate views are derived on demand.
+
+Speedup follows the paper's definition: *the ratio of the average performance
+(query time or number of sub-iso tests) of the base Method M over the average
+performance of GC deployed over Method M*; values above 1 are improvements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.query_model import QueryType
+
+
+@dataclass
+class QueryRecord:
+    """Metrics for one processed query."""
+
+    query_id: int
+    query_type: QueryType
+    num_vertices: int = 0
+    num_edges: int = 0
+    # cache interaction
+    exact_hit: bool = False
+    sub_hits: int = 0
+    super_hits: int = 0
+    # candidate set sizes (the Query Journey quantities)
+    method_candidates: int = 0      # |C_M|
+    guaranteed_answers: int = 0     # |S|
+    guaranteed_non_answers: int = 0  # |S'|
+    verified_candidates: int = 0    # |C|
+    answer_size: int = 0            # |A|
+    # cost accounting
+    dataset_tests: int = 0          # sub-iso tests actually run against data graphs
+    probe_tests: int = 0            # sub-iso tests against cached queries (GC overhead)
+    filter_seconds: float = 0.0
+    probe_seconds: float = 0.0
+    verify_seconds: float = 0.0
+    total_seconds: float = 0.0
+    # what Method M alone would have done (for speedup accounting)
+    baseline_tests: int = 0         # == |C_M|
+    baseline_seconds: float | None = None
+
+    @property
+    def tests_saved(self) -> int:
+        """Dataset sub-iso tests avoided for this query."""
+        return max(0, self.baseline_tests - self.dataset_tests)
+
+    @property
+    def any_hit(self) -> bool:
+        """True when the cache contributed anything to this query."""
+        return self.exact_hit or self.sub_hits > 0 or self.super_hits > 0
+
+
+@dataclass
+class AggregateStatistics:
+    """Aggregated view over many query records."""
+
+    num_queries: int = 0
+    num_hits: int = 0
+    num_exact_hits: int = 0
+    num_sub_hits: int = 0
+    num_super_hits: int = 0
+    total_dataset_tests: int = 0
+    total_baseline_tests: int = 0
+    total_probe_tests: int = 0
+    total_seconds: float = 0.0
+    total_baseline_seconds: float = 0.0
+    hit_ratio: float = 0.0
+    test_speedup: float = 1.0
+    time_speedup: float = 1.0
+
+
+class StatisticsManager:
+    """Accumulates query records and derives aggregates."""
+
+    def __init__(self) -> None:
+        self._records: list[QueryRecord] = []
+
+    def record(self, record: QueryRecord) -> None:
+        """Append one query record."""
+        self._records.append(record)
+
+    def records(self) -> list[QueryRecord]:
+        """All records in processing order."""
+        return list(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def reset(self) -> None:
+        """Drop every record (e.g. between benchmark phases)."""
+        self._records.clear()
+
+    # ------------------------------------------------------------------ #
+    # aggregates
+    # ------------------------------------------------------------------ #
+    def aggregate(self) -> AggregateStatistics:
+        """Compute the aggregate statistics over every recorded query."""
+        aggregate = AggregateStatistics(num_queries=len(self._records))
+        if not self._records:
+            return aggregate
+        for record in self._records:
+            if record.any_hit:
+                aggregate.num_hits += 1
+            if record.exact_hit:
+                aggregate.num_exact_hits += 1
+            aggregate.num_sub_hits += record.sub_hits
+            aggregate.num_super_hits += record.super_hits
+            aggregate.total_dataset_tests += record.dataset_tests
+            aggregate.total_baseline_tests += record.baseline_tests
+            aggregate.total_probe_tests += record.probe_tests
+            aggregate.total_seconds += record.total_seconds
+            if record.baseline_seconds is not None:
+                aggregate.total_baseline_seconds += record.baseline_seconds
+        aggregate.hit_ratio = aggregate.num_hits / aggregate.num_queries
+        gc_tests = aggregate.total_dataset_tests
+        aggregate.test_speedup = (
+            aggregate.total_baseline_tests / gc_tests if gc_tests > 0 else float("inf")
+        )
+        if aggregate.total_baseline_seconds > 0 and aggregate.total_seconds > 0:
+            aggregate.time_speedup = aggregate.total_baseline_seconds / aggregate.total_seconds
+        return aggregate
+
+    def window_summaries(self, window_size: int) -> list[dict[str, float]]:
+        """Aggregate the records in consecutive windows of ``window_size`` queries.
+
+        This is the Statistics Manager view of how the cache's usefulness
+        evolves over a workload (hit ratio and tests saved per window), used
+        by the developer dashboard's timeline.
+        """
+        if window_size < 1:
+            raise ValueError("window_size must be at least 1")
+        summaries: list[dict[str, float]] = []
+        for start in range(0, len(self._records), window_size):
+            chunk = self._records[start:start + window_size]
+            hits = sum(1 for record in chunk if record.any_hit)
+            baseline = sum(record.baseline_tests for record in chunk)
+            actual = sum(record.dataset_tests for record in chunk)
+            summaries.append(
+                {
+                    "window": len(summaries),
+                    "queries": len(chunk),
+                    "hit_ratio": hits / len(chunk),
+                    "baseline_tests": baseline,
+                    "dataset_tests": actual,
+                    "tests_saved": baseline - actual,
+                    "test_speedup": (baseline / actual) if actual else float("inf"),
+                }
+            )
+        return summaries
+
+    def per_query_hit_percentages(self, cache_sizes: list[int] | None = None) -> list[float]:
+        """Hit percentage per query, as the Workload Run dashboard shows it.
+
+        The paper defines it as "the number of cache-hits over the number of
+        cached graphs"; ``cache_sizes`` supplies the cache population at the
+        time of each query (defaults to 1 to avoid division by zero).
+        """
+        percentages: list[float] = []
+        for position, record in enumerate(self._records):
+            hits = record.sub_hits + record.super_hits + (1 if record.exact_hit else 0)
+            population = 1
+            if cache_sizes is not None and position < len(cache_sizes):
+                population = max(1, cache_sizes[position])
+            percentages.append(100.0 * hits / population)
+        return percentages

@@ -1,0 +1,66 @@
+"""The cache store: an ordered collection of :class:`CacheEntry` objects.
+
+Kept deliberately small — policies and the cache manager operate on it — so
+that alternative storage layouts (e.g. a disk-backed store) could be swapped
+in without touching replacement logic.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Iterator
+
+from repro.cache.entry import CacheEntry
+from repro.errors import CacheError
+
+
+class CacheStore:
+    """Insertion-ordered mapping entry_id → :class:`CacheEntry`."""
+
+    def __init__(self) -> None:
+        self._entries: OrderedDict[int, CacheEntry] = OrderedDict()
+
+    def add(self, entry: CacheEntry) -> None:
+        """Insert a new entry; duplicate entry ids are rejected."""
+        if entry.entry_id in self._entries:
+            raise CacheError(f"entry id {entry.entry_id} is already cached")
+        self._entries[entry.entry_id] = entry
+
+    def remove(self, entry_id: int) -> CacheEntry:
+        """Remove and return an entry by id."""
+        try:
+            return self._entries.pop(entry_id)
+        except KeyError:
+            raise CacheError(f"entry id {entry_id} is not cached") from None
+
+    def get(self, entry_id: int) -> CacheEntry:
+        """Look up an entry by id."""
+        try:
+            return self._entries[entry_id]
+        except KeyError:
+            raise CacheError(f"entry id {entry_id} is not cached") from None
+
+    def __contains__(self, entry_id: int) -> bool:
+        return entry_id in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[CacheEntry]:
+        return iter(self._entries.values())
+
+    def entries(self) -> list[CacheEntry]:
+        """All entries in insertion order."""
+        return list(self._entries.values())
+
+    def entry_ids(self) -> list[int]:
+        """All entry ids in insertion order."""
+        return list(self._entries.keys())
+
+    def clear(self) -> None:
+        """Drop every entry."""
+        self._entries.clear()
+
+    def memory_bytes(self) -> int:
+        """Approximate total footprint of all cached entries."""
+        return sum(entry.memory_bytes() for entry in self._entries.values())

@@ -1,0 +1,53 @@
+"""Sub Case Processor: detect cached queries that *contain* the new query.
+
+A "sub case" hit is a cached query ``h`` with ``g ⊆ h`` (the new query is a
+subgraph of the cached one).  Candidates come pre-screened from the
+:class:`~repro.cache.query_index.CachedQueryIndex`; this processor confirms
+them with real sub-iso probe tests and reports the confirmed hits together
+with the probing cost (GC's own overhead, which the statistics keep separate
+from the dataset verification cost it saves).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.cache.entry import CacheEntry
+from repro.graph.graph import Graph
+from repro.isomorphism.base import SubgraphMatcher
+
+
+@dataclass
+class ProbeOutcome:
+    """Confirmed hits of one direction plus the probing cost."""
+
+    hits: list[CacheEntry] = field(default_factory=list)
+    probe_tests: int = 0
+    probe_seconds: float = 0.0
+
+
+class SubCaseProcessor:
+    """Confirms sub-case hits (new query ⊆ cached query)."""
+
+    def __init__(self, matcher: SubgraphMatcher, max_hits: int | None = None) -> None:
+        self.matcher = matcher
+        self.max_hits = max_hits
+
+    def find_hits(self, query_graph: Graph, candidates: list[CacheEntry]) -> ProbeOutcome:
+        """Probe each candidate with a ``query ⊆ cached`` sub-iso test.
+
+        Candidates are probed smallest-first: smaller cached graphs are
+        cheaper to test and (for the sub case) a smaller container is more
+        selective, i.e. its answer set is a tighter guarantee.
+        """
+        outcome = ProbeOutcome()
+        start = time.perf_counter()
+        for entry in sorted(candidates, key=lambda e: (e.num_vertices, e.num_edges, e.entry_id)):
+            outcome.probe_tests += 1
+            if self.matcher.is_subgraph(query_graph, entry.graph):
+                outcome.hits.append(entry)
+                if self.max_hits is not None and len(outcome.hits) >= self.max_hits:
+                    break
+        outcome.probe_seconds = time.perf_counter() - start
+        return outcome

@@ -1,0 +1,44 @@
+"""Super Case Processor: detect cached queries *contained in* the new query.
+
+A "super case" hit is a cached query ``h`` with ``h ⊆ g`` (the new query is a
+supergraph of the cached one).  As with the sub case, candidates arrive
+pre-screened and are confirmed here with sub-iso probe tests.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.cache.entry import CacheEntry
+from repro.cache.subcase import ProbeOutcome
+from repro.graph.graph import Graph
+from repro.isomorphism.base import SubgraphMatcher
+
+
+class SuperCaseProcessor:
+    """Confirms super-case hits (cached query ⊆ new query)."""
+
+    def __init__(self, matcher: SubgraphMatcher, max_hits: int | None = None) -> None:
+        self.matcher = matcher
+        self.max_hits = max_hits
+
+    def find_hits(self, query_graph: Graph, candidates: list[CacheEntry]) -> ProbeOutcome:
+        """Probe each candidate with a ``cached ⊆ query`` sub-iso test.
+
+        Candidates are probed largest-first: a larger contained cached query
+        has a smaller answer set (for subgraph semantics), i.e. it prunes the
+        candidate set harder, so confirming those first maximises the benefit
+        when ``max_hits`` caps probing.
+        """
+        outcome = ProbeOutcome()
+        start = time.perf_counter()
+        for entry in sorted(
+            candidates, key=lambda e: (-e.num_vertices, -e.num_edges, e.entry_id)
+        ):
+            outcome.probe_tests += 1
+            if self.matcher.is_subgraph(entry.graph, query_graph):
+                outcome.hits.append(entry)
+                if self.max_hits is not None and len(outcome.hits) >= self.max_hits:
+                    break
+        outcome.probe_seconds = time.perf_counter() - start
+        return outcome

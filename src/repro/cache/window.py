@@ -1,0 +1,82 @@
+"""Window Manager: cache admission control.
+
+GC does not insert every executed query into the cache immediately.  Executed
+queries accumulate in a *window*; when the window fills up, the whole batch
+is handed to the replacement policy, which decides which of the incoming
+queries displace which resident cached graphs (this batched behaviour is what
+the demo's Workload Run visualises: "each graph cache is full of 50
+previously executed queries, 10 of which are replaced by the newly coming
+queries in the workload").
+
+Admission control can additionally reject queries that are too cheap to be
+worth caching (``min_tests_to_admit``) — caching a query whose candidate set
+was tiny cannot save future queries much work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cache.entry import CacheEntry
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class WindowSnapshot:
+    """State of the admission window (for dashboards and tests)."""
+
+    pending: list[int] = field(default_factory=list)
+    window_size: int = 0
+    flushes: int = 0
+    rejected: int = 0
+
+
+class WindowManager:
+    """Accumulates executed queries and releases them in batches."""
+
+    def __init__(self, window_size: int = 10, min_tests_to_admit: int = 0) -> None:
+        if window_size < 1:
+            raise ConfigurationError("window_size must be at least 1")
+        if min_tests_to_admit < 0:
+            raise ConfigurationError("min_tests_to_admit must be non-negative")
+        self.window_size = window_size
+        self.min_tests_to_admit = min_tests_to_admit
+        self._pending: list[CacheEntry] = []
+        self._flushes = 0
+        self._rejected = 0
+
+    def offer(self, entry: CacheEntry, tests_performed: int) -> list[CacheEntry] | None:
+        """Offer one executed query for admission.
+
+        Returns the batch of pending entries when the window just filled up
+        (the caller then runs the replacement policy), otherwise ``None``.
+        """
+        if tests_performed < self.min_tests_to_admit:
+            self._rejected += 1
+            return None
+        self._pending.append(entry)
+        if len(self._pending) >= self.window_size:
+            return self.flush()
+        return None
+
+    def flush(self) -> list[CacheEntry]:
+        """Release the pending entries (also used at end of a workload)."""
+        batch = list(self._pending)
+        self._pending.clear()
+        if batch:
+            self._flushes += 1
+        return batch
+
+    @property
+    def pending_count(self) -> int:
+        """Number of executed queries waiting in the window."""
+        return len(self._pending)
+
+    def snapshot(self) -> WindowSnapshot:
+        """Window state for dashboards."""
+        return WindowSnapshot(
+            pending=[entry.entry_id for entry in self._pending],
+            window_size=self.window_size,
+            flushes=self._flushes,
+            rejected=self._rejected,
+        )

@@ -1,0 +1,193 @@
+"""Command-line interface to the GC reproduction.
+
+The demo exposes GC through web dashboards; this CLI is the terminal
+equivalent, wrapping the library's public API:
+
+* ``graphcache generate-dataset`` — write a synthetic dataset to disk
+  (transaction text, JSON or SDF);
+* ``graphcache run-workload``     — generate/run a workload over GC and print
+  the Workload Run view plus the developer monitor summary;
+* ``graphcache compare-policies`` — experiment I style policy competition;
+* ``graphcache journey``          — Scenario I, the Query Journey, for one
+  query over a warm cache.
+
+Every command accepts ``--seed`` so runs are reproducible.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro import __version__
+from repro.cache.policies.registry import available_policies
+from repro.dashboard import (
+    DeveloperMonitor,
+    QueryJourney,
+    WorkloadRunView,
+    policy_speedup_table,
+)
+from repro.graph import (
+    load_dataset,
+    load_sdf_file,
+    molecule_dataset,
+    save_json_file,
+    save_sdf_file,
+    save_transaction_file,
+    synthetic_dataset,
+)
+from repro.graph.operations import random_connected_subgraph
+from repro.methods.registry import available_methods
+from repro.runtime import GCConfig, GraphCacheSystem
+from repro.workload import WorkloadGenerator, compare_policies, run_workload
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="graphcache",
+        description="GC: a semantic cache for subgraph/supergraph queries (VLDB 2018 reproduction)",
+    )
+    parser.add_argument("--version", action="version", version=f"graphcache {__version__}")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser("generate-dataset", help="write a synthetic dataset to disk")
+    generate.add_argument("output", type=Path, help="output file (.txt, .json or .sdf)")
+    generate.add_argument("--kind", default="molecule",
+                          choices=["molecule", "random", "powerlaw", "protein"])
+    generate.add_argument("--count", type=int, default=100, help="number of graphs")
+    generate.add_argument("--seed", type=int, default=2018)
+
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--dataset", type=Path, default=None,
+                        help="dataset file; omitted = synthetic molecules")
+    common.add_argument("--dataset-size", type=int, default=100,
+                        help="synthetic dataset size when --dataset is omitted")
+    common.add_argument("--seed", type=int, default=2018)
+    common.add_argument("--method", default="graphgrep-sx", choices=available_methods())
+    common.add_argument("--feature-size", type=int, default=2,
+                        help="feature size for FTV methods")
+    common.add_argument("--cache-capacity", type=int, default=50)
+    common.add_argument("--window-size", type=int, default=10)
+
+    run = subparsers.add_parser("run-workload", parents=[common],
+                                help="run a workload over GC and print the dashboards")
+    run.add_argument("--queries", type=int, default=50)
+    run.add_argument("--mix", default="popular")
+    run.add_argument("--policy", default="HD", choices=available_policies())
+
+    compare = subparsers.add_parser("compare-policies", parents=[common],
+                                    help="run the same workload under several policies")
+    compare.add_argument("--queries", type=int, default=50)
+    compare.add_argument("--mix", default="popular")
+    compare.add_argument("--policies", nargs="+", default=["LRU", "POP", "PIN", "PINC", "HD"])
+
+    journey = subparsers.add_parser("journey", parents=[common],
+                                    help="the Query Journey for one query over a warm cache")
+    journey.add_argument("--warm-queries", type=int, default=50)
+    journey.add_argument("--query-vertices", type=int, default=8)
+
+    return parser
+
+
+def _load_or_generate_dataset(args) -> list:
+    if args.dataset is not None:
+        path = Path(args.dataset)
+        if path.suffix.lower() == ".sdf":
+            return load_sdf_file(path)
+        return load_dataset(path)
+    return molecule_dataset(args.dataset_size, min_vertices=10, max_vertices=35, rng=args.seed)
+
+
+def _config_from_args(args, policy: str | None = None) -> GCConfig:
+    options = {}
+    if args.method in ("graphgrep-sx", "grapes"):
+        options["feature_size"] = args.feature_size
+    return GCConfig(
+        cache_capacity=args.cache_capacity,
+        window_size=min(args.window_size, args.cache_capacity),
+        replacement_policy=policy or getattr(args, "policy", "HD"),
+        method=args.method,
+        method_options=options,
+    )
+
+
+def cmd_generate_dataset(args) -> int:
+    """Generate a synthetic dataset and write it in the requested format."""
+    dataset = synthetic_dataset(args.count, kind=args.kind, rng=args.seed)
+    suffix = args.output.suffix.lower()
+    if suffix == ".json":
+        save_json_file(dataset, args.output)
+    elif suffix == ".sdf":
+        save_sdf_file(dataset, args.output)
+    else:
+        save_transaction_file(dataset, args.output)
+    print(f"wrote {len(dataset)} {args.kind} graphs to {args.output}")
+    return 0
+
+
+def cmd_run_workload(args) -> int:
+    """Run one workload over GC and print the end-user and developer views."""
+    dataset = _load_or_generate_dataset(args)
+    system = GraphCacheSystem(dataset, _config_from_args(args))
+    workload = WorkloadGenerator(dataset, rng=args.seed + 1).generate(
+        args.queries, mix=args.mix, name=args.mix
+    )
+    result = run_workload(system, workload)
+    print(WorkloadRunView(result).render_text())
+    print()
+    print(DeveloperMonitor(system).render_text())
+    return 0
+
+
+def cmd_compare_policies(args) -> int:
+    """Run the same workload under several policies and print the table."""
+    dataset = _load_or_generate_dataset(args)
+    workload = WorkloadGenerator(dataset, rng=args.seed + 1).generate(
+        args.queries, mix=args.mix, name=args.mix
+    )
+    results = compare_policies(dataset, workload, args.policies,
+                               config=_config_from_args(args, policy=args.policies[0]))
+    print(policy_speedup_table(results))
+    return 0
+
+
+def cmd_journey(args) -> int:
+    """Warm a cache and narrate the journey of one related query."""
+    dataset = _load_or_generate_dataset(args)
+    system = GraphCacheSystem(dataset, _config_from_args(args))
+    generator = WorkloadGenerator(dataset, rng=args.seed + 1)
+    warmup = generator.generate(args.warm_queries, mix="popular", name="warmup")
+    system.warm_cache(list(warmup))
+    source = max(dataset, key=lambda graph: graph.num_vertices)
+    query = random_connected_subgraph(source, min(args.query_vertices, source.num_vertices),
+                                      rng=args.seed + 2)
+    report = system.run_query(query, "subgraph")
+    journey = QueryJourney(
+        report,
+        dataset_ids=[graph.graph_id for graph in dataset],
+        cache_entry_ids=[entry.entry_id for entry in system.cache.entries()],
+    )
+    print(journey.render_text(columns=20))
+    return 0
+
+
+_COMMANDS = {
+    "generate-dataset": cmd_generate_dataset,
+    "run-workload": cmd_run_workload,
+    "compare-policies": cmd_compare_policies,
+    "journey": cmd_journey,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handler = _COMMANDS[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main()
+    sys.exit(main())

@@ -1,0 +1,104 @@
+"""Exception hierarchy for the GC (GraphCache) reproduction library.
+
+Every error raised intentionally by the library derives from
+:class:`GraphCacheError`, so callers can catch a single base class.  More
+specific subclasses exist for the major subsystems (graph model, isomorphism
+engines, indexing/Method M, the cache kernel and workload handling).
+"""
+
+from __future__ import annotations
+
+
+class GraphCacheError(Exception):
+    """Base class for every error raised by the ``repro`` library."""
+
+
+class GraphError(GraphCacheError):
+    """Errors in the graph data model (bad vertices, edges, labels...)."""
+
+
+class VertexNotFoundError(GraphError):
+    """A vertex id was referenced that is not present in the graph."""
+
+    def __init__(self, vertex: object) -> None:
+        super().__init__(f"vertex {vertex!r} is not in the graph")
+        self.vertex = vertex
+
+
+class EdgeNotFoundError(GraphError):
+    """An edge was referenced that is not present in the graph."""
+
+    def __init__(self, u: object, v: object) -> None:
+        super().__init__(f"edge ({u!r}, {v!r}) is not in the graph")
+        self.u = u
+        self.v = v
+
+
+class DuplicateVertexError(GraphError):
+    """A vertex id was added twice."""
+
+    def __init__(self, vertex: object) -> None:
+        super().__init__(f"vertex {vertex!r} already exists in the graph")
+        self.vertex = vertex
+
+
+class GraphFormatError(GraphCacheError):
+    """A serialized graph (file or string) could not be parsed."""
+
+
+class IsomorphismError(GraphCacheError):
+    """Errors raised by the subgraph isomorphism engines."""
+
+
+class BudgetExceededError(IsomorphismError):
+    """A matcher exceeded its configured search budget (node visits/time)."""
+
+    def __init__(self, budget: int) -> None:
+        super().__init__(f"subgraph isomorphism search exceeded budget of {budget} states")
+        self.budget = budget
+
+
+class IndexError_(GraphCacheError):
+    """Errors raised while building or querying a dataset/feature index."""
+
+
+class MethodError(GraphCacheError):
+    """Errors raised by Method M implementations (filter-then-verify)."""
+
+
+class UnknownMethodError(MethodError):
+    """A Method M name was requested that is not registered."""
+
+    def __init__(self, name: str, available: list[str] | None = None) -> None:
+        msg = f"unknown Method M {name!r}"
+        if available:
+            msg += f"; available: {', '.join(sorted(available))}"
+        super().__init__(msg)
+        self.name = name
+
+
+class CacheError(GraphCacheError):
+    """Errors raised by the cache kernel (policies, window, admission)."""
+
+
+class UnknownPolicyError(CacheError):
+    """A replacement policy name was requested that is not registered."""
+
+    def __init__(self, name: str, available: list[str] | None = None) -> None:
+        msg = f"unknown replacement policy {name!r}"
+        if available:
+            msg += f"; available: {', '.join(sorted(available))}"
+        super().__init__(msg)
+        self.name = name
+
+
+class CacheCapacityError(CacheError):
+    """The cache was configured with an invalid capacity."""
+
+
+class WorkloadError(GraphCacheError):
+    """Errors raised by the workload model and generators."""
+
+
+class ConfigurationError(GraphCacheError):
+    """Invalid configuration supplied to the runtime or its components."""

@@ -1,0 +1,20 @@
+"""Feature extraction for FTV filtering (paths, stars, cycles, fingerprints)."""
+
+from repro.features.base import CompositeExtractor, FeatureExtractor, FeatureKey
+from repro.features.cycles import CycleFeatureExtractor, canonical_cycle_key
+from repro.features.fingerprint import Fingerprint
+from repro.features.paths import EdgeFeatureExtractor, PathFeatureExtractor, canonical_path_key
+from repro.features.trees import StarFeatureExtractor
+
+__all__ = [
+    "FeatureExtractor",
+    "FeatureKey",
+    "CompositeExtractor",
+    "PathFeatureExtractor",
+    "EdgeFeatureExtractor",
+    "canonical_path_key",
+    "StarFeatureExtractor",
+    "CycleFeatureExtractor",
+    "canonical_cycle_key",
+    "Fingerprint",
+]

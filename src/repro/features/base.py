@@ -1,0 +1,82 @@
+"""Feature abstraction for FTV ("filter-then-verify") indexing.
+
+A *feature* is a small substructure of a graph — the paper names paths, trees
+and subgraphs as the typical choices.  FTV methods index the dataset graphs
+by the multiset of features they contain; at query time the same extractor is
+applied to the query and containment reasoning over feature multisets yields
+a candidate set.
+
+Every extractor maps a graph to a ``Counter`` keyed by a hashable canonical
+feature key, so the index layer never needs to know what kind of feature it
+is storing.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import Counter
+from collections.abc import Hashable
+
+from repro.graph.graph import Graph
+
+FeatureKey = Hashable
+
+
+class FeatureExtractor(abc.ABC):
+    """Maps a graph to a multiset (Counter) of canonical feature keys."""
+
+    #: Short name used in registries and reports.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def extract(self, graph: Graph) -> Counter[FeatureKey]:
+        """Return the feature multiset of ``graph``."""
+
+    def describe(self) -> dict[str, object]:
+        """Return the extractor's parameters (for reports and DESIGN docs)."""
+        return {"name": self.name}
+
+    # ------------------------------------------------------------------ #
+    # containment reasoning shared by the index layer
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def multiset_contains(container: Counter[FeatureKey], contained: Counter[FeatureKey]) -> bool:
+        """True iff ``contained`` is a sub-multiset of ``container``.
+
+        If graph ``a`` is a subgraph of graph ``b`` then (for any sound
+        feature definition) ``features(a) ⊆ features(b)`` as multisets; the
+        contrapositive is what filtering uses.
+        """
+        return all(container.get(key, 0) >= count for key, count in contained.items())
+
+    @staticmethod
+    def missing_features(
+        container: Counter[FeatureKey], contained: Counter[FeatureKey]
+    ) -> list[FeatureKey]:
+        """Feature keys of ``contained`` whose multiplicity exceeds ``container``."""
+        return [key for key, count in contained.items() if container.get(key, 0) < count]
+
+
+class CompositeExtractor(FeatureExtractor):
+    """Union of several extractors (keys are namespaced per extractor)."""
+
+    name = "composite"
+
+    def __init__(self, extractors: list[FeatureExtractor]) -> None:
+        if not extractors:
+            raise ValueError("CompositeExtractor needs at least one extractor")
+        self.extractors = list(extractors)
+
+    def extract(self, graph: Graph) -> Counter[FeatureKey]:
+        """Extract with every sub-extractor, namespacing keys by extractor name."""
+        combined: Counter[FeatureKey] = Counter()
+        for extractor in self.extractors:
+            for key, count in extractor.extract(graph).items():
+                combined[(extractor.name, key)] += count
+        return combined
+
+    def describe(self) -> dict[str, object]:
+        return {
+            "name": self.name,
+            "extractors": [extractor.describe() for extractor in self.extractors],
+        }

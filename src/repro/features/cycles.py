@@ -1,0 +1,86 @@
+"""Simple-cycle features (the "C" of CT-Index style indexing).
+
+A simple cycle of the query maps, under any monomorphism, onto a simple cycle
+of the target with the same label sequence, occurrence by occurrence — so
+cycle features are monotone under subgraph containment and safe for FTV
+filtering, exactly like path and star features.
+
+Cycles are enumerated up to a bounded length with a rooted DFS (each cycle is
+discovered once by forcing its smallest vertex, in a fixed vertex order, to
+be the root and its second vertex to precede its last).  The canonical key of
+a cycle is the lexicographically smallest rotation/reflection of its label
+sequence.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.errors import IndexError_
+from repro.features.base import FeatureExtractor, FeatureKey
+from repro.graph.graph import Graph, VertexId
+
+
+def canonical_cycle_key(labels: list[str]) -> tuple[str, ...]:
+    """Smallest rotation/reflection of a cyclic label sequence."""
+    best: tuple[str, ...] | None = None
+    n = len(labels)
+    for sequence in (labels, list(reversed(labels))):
+        for shift in range(n):
+            rotated = tuple(sequence[shift:] + sequence[:shift])
+            if best is None or rotated < best:
+                best = rotated
+    return best if best is not None else tuple()
+
+
+class CycleFeatureExtractor(FeatureExtractor):
+    """Enumerate simple cycles with 3..max_length vertices."""
+
+    name = "cycles"
+
+    def __init__(self, max_length: int = 6) -> None:
+        if max_length < 3:
+            raise IndexError_("max_length must be at least 3")
+        self.max_length = max_length
+
+    def describe(self) -> dict[str, object]:
+        return {"name": self.name, "max_length": self.max_length}
+
+    def extract(self, graph: Graph) -> Counter[FeatureKey]:
+        """Return the multiset of canonical cycle label sequences."""
+        features: Counter[FeatureKey] = Counter()
+        order = {vertex: index for index, vertex in enumerate(graph.vertices())}
+        for root in graph.vertices():
+            self._search(graph, order, root, [root], {root}, features)
+        return features
+
+    def _search(
+        self,
+        graph: Graph,
+        order: dict[VertexId, int],
+        root: VertexId,
+        path: list[VertexId],
+        on_path: set[VertexId],
+        features: Counter[FeatureKey],
+    ) -> None:
+        tail = path[-1]
+        for neighbor in graph.neighbors(tail):
+            if neighbor == root and len(path) >= 3:
+                # close a cycle; count it once by requiring the second vertex
+                # to be smaller (in the fixed order) than the last vertex
+                if order[path[1]] < order[path[-1]]:
+                    labels = [graph.label(v) for v in path]
+                    features[("C", canonical_cycle_key(labels))] += 1
+                continue
+            if neighbor in on_path:
+                continue
+            # every cycle is rooted at its minimum vertex in the fixed order
+            if order[neighbor] < order[root]:
+                continue
+            if len(path) >= self.max_length:
+                continue
+            path.append(neighbor)
+            on_path.add(neighbor)
+            self._search(graph, order, root, path, on_path, features)
+            on_path.discard(neighbor)
+            path.pop()

@@ -1,0 +1,194 @@
+"""Canonical forms and isomorphism-invariant codes for small graphs.
+
+The cache needs a fast way to decide whether two query graphs *might* be
+isomorphic (exact-match detection).  Three tools are provided, in increasing
+cost and precision:
+
+* :func:`invariant_code` — a cheap invariant (sizes, label histogram, degree
+  sequence, sorted edge-label-pair histogram).  Different codes ⇒ definitely
+  not isomorphic.
+* :func:`wl_code` — the Weisfeiler-Lehman hash from :meth:`Graph.wl_hash`;
+  stronger, still not exact.
+* :func:`canonical_code` — an exact canonical form computed by trying all
+  automorphism-compatible orderings with heavy pruning.  Exponential in the
+  worst case, intended for the small query graphs (≤ ~30 vertices) the paper
+  uses; guarded by a configurable size threshold in the cache, which falls
+  back to a full isomorphism test beyond it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import Counter
+
+from repro.graph.graph import Graph, VertexId
+
+
+def invariant_code(graph: Graph) -> tuple:
+    """A cheap isomorphism-invariant code (necessary, not sufficient)."""
+    label_histogram = tuple(sorted(graph.label_counts().items()))
+    edge_histogram = tuple(sorted(graph.edge_label_counts().items()))
+    degree_sequence = tuple(graph.degree_sequence())
+    return (
+        graph.num_vertices,
+        graph.num_edges,
+        label_histogram,
+        edge_histogram,
+        degree_sequence,
+    )
+
+
+def wl_code(graph: Graph, iterations: int = 3) -> str:
+    """Weisfeiler-Lehman hash (delegates to :meth:`Graph.wl_hash`)."""
+    return graph.wl_hash(iterations=iterations)
+
+
+def _refine_partition(graph: Graph) -> dict[VertexId, int]:
+    """Colour-refinement: return a stable colour class per vertex."""
+    colors: dict[VertexId, tuple] = {
+        vertex: (graph.label(vertex), graph.degree(vertex)) for vertex in graph.vertices()
+    }
+    while True:
+        new_colors: dict[VertexId, tuple] = {}
+        for vertex in graph.vertices():
+            neighbor_colors = tuple(sorted(colors[n] for n in graph.neighbors(vertex)))
+            new_colors[vertex] = (colors[vertex], neighbor_colors)
+        if len(set(new_colors.values())) == len(set(colors.values())):
+            colors = new_colors
+            break
+        colors = new_colors
+    # map the (arbitrary, hashable) colours to dense integers deterministically
+    ordered = {color: index for index, color in enumerate(sorted(set(colors.values()), key=repr))}
+    return {vertex: ordered[colors[vertex]] for vertex in graph.vertices()}
+
+
+def canonical_code(graph: Graph, max_vertices: int = 24) -> str | None:
+    """Exact canonical string, or ``None`` if the graph is too large.
+
+    The code is the lexicographically smallest serialisation over all vertex
+    orderings compatible with the colour-refinement classes.  Two graphs are
+    isomorphic iff their canonical codes are equal (when both are computed).
+    """
+    n = graph.num_vertices
+    if n == 0:
+        return "empty"
+    if n > max_vertices:
+        return None
+    colors = _refine_partition(graph)
+    # group vertices by colour class; permute only within classes
+    classes: dict[int, list[VertexId]] = {}
+    for vertex, color in colors.items():
+        classes.setdefault(color, []).append(vertex)
+    class_order = sorted(classes)
+    # guard against factorial blow-up inside a colour class
+    budget = 1
+    for color in class_order:
+        budget *= _factorial_capped(len(classes[color]), cap=50000)
+        if budget > 50000:
+            return None
+    best: str | None = None
+    for ordering in _orderings(classes, class_order):
+        code = _serialise(graph, ordering)
+        if best is None or code < best:
+            best = code
+    return best
+
+
+def _factorial_capped(k: int, cap: int) -> int:
+    result = 1
+    for i in range(2, k + 1):
+        result *= i
+        if result > cap:
+            return result
+    return result
+
+
+def _orderings(classes: dict[int, list[VertexId]], class_order: list[int]):
+    """Yield full vertex orderings as products of per-class permutations."""
+    per_class = [list(itertools.permutations(classes[color])) for color in class_order]
+    for combo in itertools.product(*per_class):
+        ordering: list[VertexId] = []
+        for group in combo:
+            ordering.extend(group)
+        yield ordering
+
+
+def _serialise(graph: Graph, ordering: list[VertexId]) -> str:
+    position = {vertex: index for index, vertex in enumerate(ordering)}
+    labels = ",".join(graph.label(vertex) for vertex in ordering)
+    edges = []
+    for u, v in graph.edges():
+        a, b = sorted((position[u], position[v]))
+        edge_label = graph.edge_label(u, v) or ""
+        edges.append(f"{a}-{b}:{edge_label}")
+    return labels + "|" + ";".join(sorted(edges))
+
+
+def maybe_isomorphic(first: Graph, second: Graph) -> bool:
+    """Cheap necessary check: can the two graphs possibly be isomorphic?"""
+    return invariant_code(first) == invariant_code(second)
+
+
+def definitely_isomorphic(first: Graph, second: Graph, max_vertices: int = 24) -> bool | None:
+    """Exact isomorphism via canonical codes; ``None`` when undecided.
+
+    ``None`` means at least one canonical code could not be computed within
+    the size limit — the caller should fall back to a full matcher.
+    """
+    if not maybe_isomorphic(first, second):
+        return False
+    code_first = canonical_code(first, max_vertices=max_vertices)
+    code_second = canonical_code(second, max_vertices=max_vertices)
+    if code_first is None or code_second is None:
+        return None
+    return code_first == code_second
+
+
+def label_multiset_contained(query: Graph, target: Graph) -> bool:
+    """Necessary condition for ``query ⊆ target``: label multiset containment."""
+    query_counts = query.label_counts()
+    target_counts = target.label_counts()
+    return all(target_counts.get(label, 0) >= count for label, count in query_counts.items())
+
+
+def degree_profile_contained(query: Graph, target: Graph) -> bool:
+    """Necessary condition for ``query ⊆ target`` based on per-label degrees.
+
+    For every query vertex there must exist a distinct target vertex with the
+    same label and at least the same degree.  (Checked greedily per label,
+    which is exact because degrees within one label class are a total order.)
+    """
+    by_label_query: dict[str, list[int]] = {}
+    for vertex in query.vertices():
+        by_label_query.setdefault(query.label(vertex), []).append(query.degree(vertex))
+    by_label_target: dict[str, list[int]] = {}
+    for vertex in target.vertices():
+        by_label_target.setdefault(target.label(vertex), []).append(target.degree(vertex))
+    for label, query_degrees in by_label_query.items():
+        target_degrees = sorted(by_label_target.get(label, []), reverse=True)
+        if len(target_degrees) < len(query_degrees):
+            return False
+        for position, degree in enumerate(sorted(query_degrees, reverse=True)):
+            if target_degrees[position] < degree:
+                return False
+    return True
+
+
+def size_contained(query: Graph, target: Graph) -> bool:
+    """Necessary condition for ``query ⊆ target``: vertex and edge counts."""
+    return query.num_vertices <= target.num_vertices and query.num_edges <= target.num_edges
+
+
+def quick_containment_screen(query: Graph, target: Graph) -> bool:
+    """All cheap necessary conditions for ``query ⊆ target`` combined."""
+    return (
+        size_contained(query, target)
+        and label_multiset_contained(query, target)
+        and degree_profile_contained(query, target)
+    )
+
+
+def label_vector(graph: Graph, alphabet: list[str]) -> tuple[int, ...]:
+    """Histogram of labels over a fixed alphabet (for vectorised screens)."""
+    counts: Counter[str] = graph.label_counts()
+    return tuple(counts.get(label, 0) for label in alphabet)

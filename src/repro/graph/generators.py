@@ -1,0 +1,271 @@
+"""Synthetic dataset generators.
+
+The paper evaluates GC on the AIDS Antiviral Screen dataset (real molecular
+graphs) plus synthetic datasets "with various characteristics".  Neither is
+shipped here (no network access), so this module provides generators that
+reproduce the *statistical shape* the cache cares about:
+
+* :func:`molecule_graph` / :func:`molecule_dataset` — sparse, small graphs
+  (10–60 vertices), a small skewed label alphabet (atom symbols), tree-like
+  skeletons with a few rings: an AIDS-style stand-in.
+* :func:`random_labelled_graph` — Erdős–Rényi style labelled graphs for
+  synthetic datasets with controllable density.
+* :func:`power_law_graph` — preferential-attachment graphs for social-network
+  style datasets.
+* :func:`protein_like_graph` — denser, larger-label-alphabet graphs, a stand-in
+  for PDBS/PCM style protein data used by the underlying GraphCache paper.
+
+All generators accept a :class:`random.Random` instance (or a seed) so every
+experiment in the repository is reproducible.
+"""
+
+from __future__ import annotations
+
+import random as _random
+from collections.abc import Sequence
+
+from repro.errors import GraphError
+from repro.graph.graph import Graph
+
+#: Atom symbols with rough relative abundances mirroring organic molecules
+#: (the AIDS antiviral screen compounds are dominated by C/N/O with a tail of
+#: heteroatoms).
+ATOM_ALPHABET: tuple[tuple[str, float], ...] = (
+    ("C", 0.60),
+    ("N", 0.12),
+    ("O", 0.12),
+    ("S", 0.05),
+    ("P", 0.03),
+    ("Cl", 0.03),
+    ("F", 0.02),
+    ("Br", 0.015),
+    ("I", 0.005),
+    ("H", 0.01),
+)
+
+#: Amino-acid style alphabet for protein-like graphs.
+PROTEIN_ALPHABET: tuple[str, ...] = tuple(
+    "ALA ARG ASN ASP CYS GLN GLU GLY HIS ILE LEU LYS MET PHE PRO SER THR TRP TYR VAL".split()
+)
+
+
+def _resolve_rng(rng: _random.Random | int | None) -> _random.Random:
+    """Accept a Random, a seed, or None and return a Random instance."""
+    if isinstance(rng, _random.Random):
+        return rng
+    return _random.Random(rng)
+
+
+def _weighted_choice(rng: _random.Random, alphabet: Sequence[tuple[str, float]]) -> str:
+    """Pick a label according to the weights of the alphabet."""
+    total = sum(weight for _, weight in alphabet)
+    roll = rng.random() * total
+    cumulative = 0.0
+    for label, weight in alphabet:
+        cumulative += weight
+        if roll <= cumulative:
+            return label
+    return alphabet[-1][0]
+
+
+def molecule_graph(
+    num_vertices: int,
+    rng: _random.Random | int | None = None,
+    ring_probability: float = 0.35,
+    graph_id: int | str | None = None,
+    alphabet: Sequence[tuple[str, float]] = ATOM_ALPHABET,
+) -> Graph:
+    """Generate a connected molecule-like labelled graph.
+
+    The construction grows a random tree (every new atom bonds to an existing
+    atom, preferring low-degree atoms as real molecules do), then closes a few
+    rings by adding extra bonds between nearby atoms.  The result is sparse
+    (average degree a little above 2), connected and label-skewed — the regime
+    where FTV indexes and the GC cache operate in the paper.
+    """
+    if num_vertices < 1:
+        raise GraphError("a molecule needs at least one atom")
+    rng = _resolve_rng(rng)
+    graph = Graph(graph_id=graph_id)
+    graph.add_vertex(0, _weighted_choice(rng, alphabet))
+    for vertex in range(1, num_vertices):
+        graph.add_vertex(vertex, _weighted_choice(rng, alphabet))
+        # attach to an existing atom, biased towards atoms with few bonds
+        candidates = list(range(vertex))
+        weights = [1.0 / (1 + graph.degree(existing)) ** 2 for existing in candidates]
+        anchor = rng.choices(candidates, weights=weights, k=1)[0]
+        graph.add_edge(vertex, anchor)
+    # close rings: add a few chords between vertices at distance >= 2
+    num_rings = 0
+    max_rings = max(0, int(round(ring_probability * num_vertices / 6.0)))
+    attempts = 0
+    while num_rings < max_rings and attempts < 10 * max(1, max_rings):
+        attempts += 1
+        u = rng.randrange(num_vertices)
+        v = rng.randrange(num_vertices)
+        if u == v or graph.has_edge(u, v):
+            continue
+        if graph.degree(u) >= 4 or graph.degree(v) >= 4:
+            continue
+        graph.add_edge(u, v)
+        num_rings += 1
+    return graph
+
+
+def molecule_dataset(
+    num_graphs: int,
+    min_vertices: int = 10,
+    max_vertices: int = 60,
+    rng: _random.Random | int | None = None,
+    ring_probability: float = 0.35,
+) -> list[Graph]:
+    """Generate an AIDS-like dataset of molecule graphs with ids ``0..n-1``."""
+    if num_graphs < 0:
+        raise GraphError("num_graphs must be non-negative")
+    if min_vertices > max_vertices:
+        raise GraphError("min_vertices must not exceed max_vertices")
+    rng = _resolve_rng(rng)
+    dataset: list[Graph] = []
+    for graph_id in range(num_graphs):
+        size = rng.randint(min_vertices, max_vertices)
+        dataset.append(
+            molecule_graph(
+                size,
+                rng=rng,
+                ring_probability=ring_probability,
+                graph_id=graph_id,
+            )
+        )
+    return dataset
+
+
+def random_labelled_graph(
+    num_vertices: int,
+    edge_probability: float,
+    num_labels: int = 5,
+    rng: _random.Random | int | None = None,
+    graph_id: int | str | None = None,
+    ensure_connected: bool = True,
+) -> Graph:
+    """Erdős–Rényi style labelled graph (labels ``L0..L{num_labels-1}``).
+
+    With ``ensure_connected`` a random spanning tree is laid down first so the
+    result is always connected, matching the datasets used by GraphCache.
+    """
+    if num_vertices < 0:
+        raise GraphError("num_vertices must be non-negative")
+    if not 0.0 <= edge_probability <= 1.0:
+        raise GraphError("edge_probability must be within [0, 1]")
+    if num_labels < 1:
+        raise GraphError("num_labels must be positive")
+    rng = _resolve_rng(rng)
+    graph = Graph(graph_id=graph_id)
+    for vertex in range(num_vertices):
+        graph.add_vertex(vertex, f"L{rng.randrange(num_labels)}")
+    if ensure_connected and num_vertices > 1:
+        order = list(range(num_vertices))
+        rng.shuffle(order)
+        for index in range(1, num_vertices):
+            anchor = order[rng.randrange(index)]
+            graph.add_edge(order[index], anchor)
+    for u in range(num_vertices):
+        for v in range(u + 1, num_vertices):
+            if not graph.has_edge(u, v) and rng.random() < edge_probability:
+                graph.add_edge(u, v)
+    return graph
+
+
+def power_law_graph(
+    num_vertices: int,
+    edges_per_vertex: int = 2,
+    num_labels: int = 8,
+    rng: _random.Random | int | None = None,
+    graph_id: int | str | None = None,
+) -> Graph:
+    """Preferential-attachment ("social network" style) labelled graph."""
+    if num_vertices < 1:
+        raise GraphError("num_vertices must be positive")
+    if edges_per_vertex < 1:
+        raise GraphError("edges_per_vertex must be positive")
+    rng = _resolve_rng(rng)
+    graph = Graph(graph_id=graph_id)
+    graph.add_vertex(0, f"L{rng.randrange(num_labels)}")
+    degree_pool: list[int] = [0]
+    for vertex in range(1, num_vertices):
+        graph.add_vertex(vertex, f"L{rng.randrange(num_labels)}")
+        targets: set[int] = set()
+        attach = min(edges_per_vertex, vertex)
+        while len(targets) < attach:
+            targets.add(rng.choice(degree_pool))
+        for target in targets:
+            graph.add_edge(vertex, target)
+            degree_pool.append(target)
+            degree_pool.append(vertex)
+    return graph
+
+
+def protein_like_graph(
+    num_vertices: int,
+    rng: _random.Random | int | None = None,
+    graph_id: int | str | None = None,
+    contact_probability: float = 0.08,
+) -> Graph:
+    """Protein-contact-map style graph: a backbone chain plus contact edges."""
+    if num_vertices < 2:
+        raise GraphError("a protein-like graph needs at least two residues")
+    rng = _resolve_rng(rng)
+    graph = Graph(graph_id=graph_id)
+    for vertex in range(num_vertices):
+        graph.add_vertex(vertex, rng.choice(PROTEIN_ALPHABET))
+    for vertex in range(num_vertices - 1):
+        graph.add_edge(vertex, vertex + 1)
+    for u in range(num_vertices):
+        for v in range(u + 2, min(num_vertices, u + 12)):
+            if rng.random() < contact_probability:
+                graph.add_edge(u, v)
+    return graph
+
+
+def synthetic_dataset(
+    num_graphs: int,
+    kind: str = "molecule",
+    rng: _random.Random | int | None = None,
+    **kwargs,
+) -> list[Graph]:
+    """Generate a dataset of a named kind.
+
+    ``kind`` is one of ``molecule``, ``random``, ``powerlaw`` or ``protein``;
+    extra keyword arguments are forwarded to the per-graph generator.
+    """
+    rng = _resolve_rng(rng)
+    dataset: list[Graph] = []
+    for graph_id in range(num_graphs):
+        if kind == "molecule":
+            size = rng.randint(kwargs.get("min_vertices", 10), kwargs.get("max_vertices", 60))
+            graph = molecule_graph(size, rng=rng, graph_id=graph_id)
+        elif kind == "random":
+            graph = random_labelled_graph(
+                kwargs.get("num_vertices", 30),
+                kwargs.get("edge_probability", 0.08),
+                num_labels=kwargs.get("num_labels", 5),
+                rng=rng,
+                graph_id=graph_id,
+            )
+        elif kind == "powerlaw":
+            graph = power_law_graph(
+                kwargs.get("num_vertices", 40),
+                edges_per_vertex=kwargs.get("edges_per_vertex", 2),
+                num_labels=kwargs.get("num_labels", 8),
+                rng=rng,
+                graph_id=graph_id,
+            )
+        elif kind == "protein":
+            graph = protein_like_graph(
+                kwargs.get("num_vertices", 50),
+                rng=rng,
+                graph_id=graph_id,
+            )
+        else:
+            raise GraphError(f"unknown dataset kind {kind!r}")
+        dataset.append(graph)
+    return dataset

@@ -1,0 +1,130 @@
+"""Reading and writing graph transaction files.
+
+Two text formats are supported:
+
+* the classic *graph transaction* format used by the AIDS / GraphGrep family
+  of tools (``t # <id>`` / ``v <id> <label>`` / ``e <u> <v> [label]`` lines);
+* a JSON format (one dataset = a list of :meth:`Graph.to_dict` payloads).
+
+Both round-trip losslessly through :class:`repro.graph.Graph`.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable, Iterator
+from pathlib import Path
+
+from repro.errors import GraphFormatError
+from repro.graph.graph import Graph
+
+
+def parse_transaction_text(text: str) -> list[Graph]:
+    """Parse the ``t # id / v / e`` transaction format from a string."""
+    graphs: list[Graph] = []
+    current: Graph | None = None
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        kind = parts[0]
+        if kind == "t":
+            # "t # 3" or "t 3"
+            payload = [p for p in parts[1:] if p != "#"]
+            graph_id: int | str | None = None
+            if payload:
+                graph_id = _parse_scalar(payload[0])
+            current = Graph(graph_id=graph_id)
+            graphs.append(current)
+        elif kind == "v":
+            if current is None:
+                raise GraphFormatError(f"line {line_number}: vertex before any 't' line")
+            if len(parts) < 3:
+                raise GraphFormatError(f"line {line_number}: vertex line needs an id and a label")
+            current.add_vertex(_parse_scalar(parts[1]), parts[2])
+        elif kind == "e":
+            if current is None:
+                raise GraphFormatError(f"line {line_number}: edge before any 't' line")
+            if len(parts) < 3:
+                raise GraphFormatError(f"line {line_number}: edge line needs two endpoints")
+            label = parts[3] if len(parts) > 3 else None
+            current.add_edge(_parse_scalar(parts[1]), _parse_scalar(parts[2]), label)
+        else:
+            raise GraphFormatError(f"line {line_number}: unknown record type {kind!r}")
+    return graphs
+
+
+def _parse_scalar(token: str) -> int | str:
+    """Parse ints where possible so vertex/graph ids behave naturally."""
+    try:
+        return int(token)
+    except ValueError:
+        return token
+
+
+def format_transaction_text(graphs: Iterable[Graph]) -> str:
+    """Serialise graphs to the transaction text format."""
+    lines: list[str] = []
+    for index, graph in enumerate(graphs):
+        graph_id = graph.graph_id if graph.graph_id is not None else index
+        lines.append(f"t # {graph_id}")
+        vertex_order = {vertex: position for position, vertex in enumerate(graph.vertices())}
+        for vertex in graph.vertices():
+            lines.append(f"v {vertex_order[vertex]} {graph.label(vertex) or '_'}")
+        for u, v in graph.edges():
+            label = graph.edge_label(u, v)
+            suffix = f" {label}" if label is not None else ""
+            lines.append(f"e {vertex_order[u]} {vertex_order[v]}{suffix}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def load_transaction_file(path: str | Path) -> list[Graph]:
+    """Load a dataset from a transaction-format text file."""
+    content = Path(path).read_text(encoding="utf-8")
+    return parse_transaction_text(content)
+
+
+def save_transaction_file(graphs: Iterable[Graph], path: str | Path) -> None:
+    """Write a dataset to a transaction-format text file."""
+    Path(path).write_text(format_transaction_text(graphs), encoding="utf-8")
+
+
+def load_json_file(path: str | Path) -> list[Graph]:
+    """Load a dataset from a JSON file produced by :func:`save_json_file`."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(payload, list):
+        raise GraphFormatError("JSON dataset must be a list of graph objects")
+    return [Graph.from_dict(entry) for entry in payload]
+
+
+def save_json_file(graphs: Iterable[Graph], path: str | Path) -> None:
+    """Write a dataset to JSON (a list of :meth:`Graph.to_dict` payloads)."""
+    payload = [graph.to_dict() for graph in graphs]
+    Path(path).write_text(json.dumps(payload, indent=2), encoding="utf-8")
+
+
+def load_dataset(path: str | Path) -> list[Graph]:
+    """Load a dataset, dispatching on the file extension (.json or text)."""
+    path = Path(path)
+    if path.suffix.lower() == ".json":
+        return load_json_file(path)
+    return load_transaction_file(path)
+
+
+def iter_transaction_blocks(text: str) -> Iterator[str]:
+    """Yield the raw text block of each graph in a transaction file.
+
+    Useful for streaming very large files without materialising every graph.
+    """
+    block: list[str] = []
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if line.startswith("t"):
+            if block:
+                yield "\n".join(block)
+            block = [line]
+        elif line:
+            block.append(line)
+    if block:
+        yield "\n".join(block)

@@ -1,0 +1,194 @@
+"""Graph operations used by the workload generators and the cache.
+
+The central operation is :func:`random_connected_subgraph`: the paper states
+that workload queries are "generated from graphs in dataset following
+established principles", i.e. by extracting connected subgraphs from dataset
+graphs (the standard methodology of the FTV literature).  Query graphs that
+are subgraphs/supergraphs of each other — the situation GC exploits — are
+produced by :func:`shrink_graph` and :func:`extend_graph`.
+"""
+
+from __future__ import annotations
+
+import random as _random
+from collections.abc import Iterable
+
+from repro.errors import GraphError
+from repro.graph.graph import Graph, VertexId
+
+
+def _resolve_rng(rng: _random.Random | int | None) -> _random.Random:
+    if isinstance(rng, _random.Random):
+        return rng
+    return _random.Random(rng)
+
+
+def random_connected_subgraph(
+    graph: Graph,
+    num_vertices: int,
+    rng: _random.Random | int | None = None,
+    relabel: bool = True,
+) -> Graph:
+    """Extract a connected subgraph with ``num_vertices`` vertices.
+
+    A random-walk/BFS frontier expansion is used: start from a random vertex
+    and repeatedly absorb a random frontier neighbour.  The induced subgraph
+    on the selected vertices is returned (standard query-generation procedure
+    of the sub-iso indexing literature).
+
+    With ``relabel`` the result's vertices are renamed ``0..k-1`` so the query
+    does not leak dataset vertex identities.
+    """
+    if num_vertices < 1:
+        raise GraphError("num_vertices must be positive")
+    if num_vertices > graph.num_vertices:
+        raise GraphError(
+            f"cannot extract {num_vertices} vertices from a graph with {graph.num_vertices}"
+        )
+    rng = _resolve_rng(rng)
+    vertices = graph.vertices()
+    start = vertices[rng.randrange(len(vertices))]
+    selected: set[VertexId] = {start}
+    frontier: list[VertexId] = [v for v in graph.neighbors(start)]
+    while len(selected) < num_vertices:
+        if not frontier:
+            # The component of `start` is exhausted; jump to a fresh vertex in
+            # another component so we can still honour the size request.
+            remaining = [v for v in vertices if v not in selected]
+            if not remaining:
+                break
+            jump = remaining[rng.randrange(len(remaining))]
+            selected.add(jump)
+            frontier.extend(v for v in graph.neighbors(jump) if v not in selected)
+            continue
+        index = rng.randrange(len(frontier))
+        frontier[index], frontier[-1] = frontier[-1], frontier[index]
+        candidate = frontier.pop()
+        if candidate in selected:
+            continue
+        selected.add(candidate)
+        frontier.extend(v for v in graph.neighbors(candidate) if v not in selected)
+    sub = graph.subgraph(selected)
+    sub.graph_id = None
+    sub.name = None
+    return sub.relabel_vertices() if relabel else sub
+
+
+def shrink_graph(
+    graph: Graph,
+    num_vertices: int,
+    rng: _random.Random | int | None = None,
+) -> Graph:
+    """Return a connected subgraph of ``graph`` with ``num_vertices`` vertices.
+
+    Used by the workload generator to create *sub-case* queries: the result is
+    guaranteed (by construction) to be subgraph-isomorphic to ``graph``.
+    """
+    return random_connected_subgraph(graph, num_vertices, rng=rng, relabel=True)
+
+
+def extend_graph(
+    graph: Graph,
+    extra_vertices: int,
+    labels: Iterable[str],
+    rng: _random.Random | int | None = None,
+    extra_edge_probability: float = 0.2,
+) -> Graph:
+    """Return a supergraph of ``graph`` with ``extra_vertices`` more vertices.
+
+    New vertices are attached to random existing vertices (keeping the graph
+    connected); a few extra edges between new vertices may be added.  Used by
+    the workload generator to create *super-case* queries: ``graph`` is
+    subgraph-isomorphic to the result by construction.
+    """
+    if extra_vertices < 0:
+        raise GraphError("extra_vertices must be non-negative")
+    rng = _resolve_rng(rng)
+    label_pool = list(labels)
+    if extra_vertices > 0 and not label_pool:
+        raise GraphError("a non-empty label pool is required to extend a graph")
+    out = graph.relabel_vertices()
+    next_id = out.num_vertices
+    new_ids: list[int] = []
+    for _ in range(extra_vertices):
+        label = label_pool[rng.randrange(len(label_pool))]
+        out.add_vertex(next_id, label)
+        anchors = out.vertices()[:-1]
+        if anchors:
+            anchor = anchors[rng.randrange(len(anchors))]
+            out.add_edge(next_id, anchor)
+        new_ids.append(next_id)
+        next_id += 1
+    for i, u in enumerate(new_ids):
+        for v in new_ids[i + 1:]:
+            if rng.random() < extra_edge_probability and not out.has_edge(u, v):
+                out.add_edge(u, v)
+    return out
+
+
+def disjoint_union(first: Graph, second: Graph) -> Graph:
+    """Return the disjoint union of two graphs with vertices renumbered."""
+    out = Graph()
+    mapping_first = {vertex: index for index, vertex in enumerate(first.vertices())}
+    offset = len(mapping_first)
+    mapping_second = {vertex: offset + index for index, vertex in enumerate(second.vertices())}
+    for vertex, new_id in mapping_first.items():
+        out.add_vertex(new_id, first.label(vertex))
+    for vertex, new_id in mapping_second.items():
+        out.add_vertex(new_id, second.label(vertex))
+    for u, v in first.edges():
+        out.add_edge(mapping_first[u], mapping_first[v], first.edge_label(u, v))
+    for u, v in second.edges():
+        out.add_edge(mapping_second[u], mapping_second[v], second.edge_label(u, v))
+    return out
+
+
+def edge_induced_subgraph(graph: Graph, edges: Iterable[tuple[VertexId, VertexId]]) -> Graph:
+    """Return the subgraph made of exactly the given edges (plus endpoints)."""
+    out = Graph(graph_id=graph.graph_id)
+    for u, v in edges:
+        if not graph.has_edge(u, v):
+            raise GraphError(f"edge ({u!r}, {v!r}) is not present in the source graph")
+        for vertex in (u, v):
+            if vertex not in out:
+                out.add_vertex(vertex, graph.label(vertex))
+        out.add_edge(u, v, graph.edge_label(u, v))
+    return out
+
+
+def graph_density(graph: Graph) -> float:
+    """Return ``2|E| / (|V| (|V|-1))`` (0.0 for graphs with < 2 vertices)."""
+    n = graph.num_vertices
+    if n < 2:
+        return 0.0
+    return 2.0 * graph.num_edges / (n * (n - 1))
+
+
+def average_degree(graph: Graph) -> float:
+    """Return the average vertex degree (0.0 for the empty graph)."""
+    if graph.num_vertices == 0:
+        return 0.0
+    return 2.0 * graph.num_edges / graph.num_vertices
+
+
+def dataset_statistics(dataset: Iterable[Graph]) -> dict[str, float]:
+    """Summary statistics of a dataset (used by dashboards and reports)."""
+    graphs = list(dataset)
+    if not graphs:
+        return {
+            "num_graphs": 0,
+            "avg_vertices": 0.0,
+            "avg_edges": 0.0,
+            "avg_density": 0.0,
+            "num_labels": 0,
+        }
+    labels: set[str] = set()
+    for graph in graphs:
+        labels |= graph.label_set()
+    return {
+        "num_graphs": len(graphs),
+        "avg_vertices": sum(g.num_vertices for g in graphs) / len(graphs),
+        "avg_edges": sum(g.num_edges for g in graphs) / len(graphs),
+        "avg_density": sum(graph_density(g) for g in graphs) / len(graphs),
+        "num_labels": len(labels),
+    }

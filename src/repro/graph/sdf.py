@@ -1,0 +1,126 @@
+"""Minimal SDF / MDL molfile (V2000) reader and writer.
+
+The paper's dataset is the NCI AIDS Antiviral Screen, which is distributed as
+SDF.  This module lets the library ingest real molecule files when they are
+available (and write its synthetic molecules back out in the same format), so
+the synthetic-data substitution documented in DESIGN.md can be swapped for
+the real thing without touching any other code.
+
+Only the fields GC cares about are interpreted: atom symbols become vertex
+labels and bonds become edges (the bond order becomes the edge label).
+Coordinates, charges and property blocks are ignored on read and zeroed on
+write.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from pathlib import Path
+
+from repro.errors import GraphFormatError
+from repro.graph.graph import Graph
+
+
+def parse_molfile(text: str, graph_id: int | str | None = None) -> Graph:
+    """Parse one V2000 molfile block into a :class:`Graph`."""
+    lines = text.splitlines()
+    if len(lines) < 4:
+        raise GraphFormatError("molfile block is too short")
+    name = lines[0].strip() or None
+    counts = lines[3]
+    try:
+        num_atoms = int(counts[0:3])
+        num_bonds = int(counts[3:6])
+    except (ValueError, IndexError):
+        raise GraphFormatError(f"malformed counts line: {counts!r}") from None
+    atom_lines = lines[4: 4 + num_atoms]
+    bond_lines = lines[4 + num_atoms: 4 + num_atoms + num_bonds]
+    if len(atom_lines) < num_atoms or len(bond_lines) < num_bonds:
+        raise GraphFormatError("molfile block truncated (missing atom/bond lines)")
+
+    graph = Graph(graph_id=graph_id, name=name)
+    for index, line in enumerate(atom_lines):
+        parts = line.split()
+        if len(parts) < 4:
+            raise GraphFormatError(f"malformed atom line: {line!r}")
+        graph.add_vertex(index, parts[3])
+    for line in bond_lines:
+        try:
+            first = int(line[0:3]) - 1
+            second = int(line[3:6]) - 1
+            order = line[6:9].strip() or "1"
+        except (ValueError, IndexError):
+            raise GraphFormatError(f"malformed bond line: {line!r}") from None
+        if not (0 <= first < num_atoms and 0 <= second < num_atoms):
+            raise GraphFormatError(f"bond references missing atom: {line!r}")
+        if first != second and not graph.has_edge(first, second):
+            graph.add_edge(first, second, order)
+    return graph
+
+
+def parse_sdf_text(text: str) -> list[Graph]:
+    """Parse a (possibly multi-molecule) SDF string."""
+    graphs: list[Graph] = []
+    for index, block in enumerate(_split_sdf_blocks(text)):
+        graphs.append(parse_molfile(block, graph_id=index))
+    return graphs
+
+
+def _split_sdf_blocks(text: str) -> Iterable[str]:
+    block: list[str] = []
+    for line in text.splitlines():
+        if line.strip() == "$$$$":
+            if any(entry.strip() for entry in block):
+                yield "\n".join(_strip_property_block(block))
+            block = []
+        else:
+            block.append(line)
+    if any(entry.strip() for entry in block):
+        yield "\n".join(_strip_property_block(block))
+
+
+def _strip_property_block(lines: list[str]) -> list[str]:
+    """Drop everything from 'M  END' onwards (data fields are not needed)."""
+    for position, line in enumerate(lines):
+        if line.startswith("M  END"):
+            return lines[:position]
+    return lines
+
+
+def format_molfile(graph: Graph) -> str:
+    """Serialise one graph as a V2000 molfile block."""
+    vertex_order = {vertex: position for position, vertex in enumerate(graph.vertices())}
+    lines = [
+        str(graph.name or graph.graph_id or ""),
+        "  repro-gc",
+        "",
+        f"{graph.num_vertices:>3}{graph.num_edges:>3}  0  0  0  0  0  0  0  0999 V2000",
+    ]
+    for vertex in graph.vertices():
+        label = graph.label(vertex) or "C"
+        lines.append(f"{0.0:>10.4f}{0.0:>10.4f}{0.0:>10.4f} {label:<3} 0  0  0  0  0  0  0  0  0  0  0  0")
+    for u, v in graph.edges():
+        order = graph.edge_label(u, v) or "1"
+        try:
+            order_number = int(order)
+        except ValueError:
+            order_number = 1
+        lines.append(f"{vertex_order[u] + 1:>3}{vertex_order[v] + 1:>3}{order_number:>3}  0  0  0  0")
+    lines.append("M  END")
+    return "\n".join(lines)
+
+
+def format_sdf_text(graphs: Iterable[Graph]) -> str:
+    """Serialise many graphs as a multi-molecule SDF string."""
+    blocks = [format_molfile(graph) for graph in graphs]
+    return "\n$$$$\n".join(blocks) + ("\n$$$$\n" if blocks else "")
+
+
+def load_sdf_file(path: str | Path) -> list[Graph]:
+    """Load a dataset from an SDF file."""
+    return parse_sdf_text(Path(path).read_text(encoding="utf-8"))
+
+
+def save_sdf_file(graphs: Iterable[Graph], path: str | Path) -> None:
+    """Write a dataset to an SDF file."""
+    Path(path).write_text(format_sdf_text(graphs), encoding="utf-8")

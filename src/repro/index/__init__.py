@@ -1,0 +1,15 @@
+"""Dataset indexes: the Filter component of Method M."""
+
+from repro.index.base import DatasetIndex, GraphId, estimate_object_bytes
+from repro.index.bitmap import FingerprintIndex
+from repro.index.inverted import InvertedFeatureIndex
+from repro.index.suffix_trie import SuffixTrieIndex
+
+__all__ = [
+    "DatasetIndex",
+    "GraphId",
+    "estimate_object_bytes",
+    "InvertedFeatureIndex",
+    "SuffixTrieIndex",
+    "FingerprintIndex",
+]

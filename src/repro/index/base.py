@@ -1,0 +1,77 @@
+"""Dataset index interface (the "Filter" half of Method M).
+
+A dataset index is built once over the dataset graphs and then, per query,
+produces a *candidate set*: graph ids that might belong to the answer.  The
+contract that every implementation must honour (and the test-suite checks) is
+**no false dismissals**:
+
+* subgraph query ``g``  → every graph with ``g ⊆ G`` is in the candidates;
+* supergraph query ``g`` → every graph with ``G ⊆ g`` is in the candidates.
+
+Indexes also report an estimate of their memory footprint — experiment II of
+the paper is precisely about the space cost of more aggressive filtering
+versus the (tiny) space cost of the GC cache.
+"""
+
+from __future__ import annotations
+
+import abc
+import sys
+from collections import Counter
+from collections.abc import Iterable
+
+from repro.graph.graph import Graph
+from repro.query_model import QueryType
+
+GraphId = int | str
+
+
+class DatasetIndex(abc.ABC):
+    """Abstract dataset index."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def build(self, dataset: Iterable[Graph]) -> None:
+        """Index the dataset graphs (callable once per index instance)."""
+
+    @abc.abstractmethod
+    def candidates(self, query: Graph, query_type: QueryType) -> set[GraphId]:
+        """Return candidate graph ids for the query (no false dismissals)."""
+
+    @abc.abstractmethod
+    def memory_bytes(self) -> int:
+        """Rough estimate of the index's in-memory footprint in bytes."""
+
+    def describe(self) -> dict[str, object]:
+        """Return the index's parameters for reports."""
+        return {"name": self.name}
+
+
+def estimate_object_bytes(obj: object) -> int:
+    """Recursive, approximate ``sys.getsizeof`` over containers.
+
+    Good enough for the relative space comparisons of experiment II; not a
+    precise heap profiler.
+    """
+    seen: set[int] = set()
+
+    def _size(value: object) -> int:
+        if id(value) in seen:
+            return 0
+        seen.add(id(value))
+        total = sys.getsizeof(value)
+        if isinstance(value, dict):
+            total += sum(_size(k) + _size(v) for k, v in value.items())
+        elif isinstance(value, (list, tuple, set, frozenset)):
+            total += sum(_size(item) for item in value)
+        elif isinstance(value, Counter):
+            total += sum(_size(k) + _size(v) for k, v in value.items())
+        return total
+
+    return _size(obj)
+
+
+def feature_multiset_bytes(features: Counter) -> int:
+    """Approximate storage for one feature multiset."""
+    return estimate_object_bytes(dict(features))

@@ -1,0 +1,88 @@
+"""Fingerprint (bitmap) index.
+
+Stores one hashed bit-vector fingerprint per dataset graph.  Filtering for a
+subgraph query keeps the graphs whose fingerprint contains all query bits;
+for a supergraph query the containment is reversed.  Collisions and the loss
+of multiplicities only ever weaken filtering (larger candidate sets), never
+cause false dismissals, so the index remains sound.
+
+This is the smallest-footprint FTV index in the repository and serves as the
+low end of the space/filtering-power spectrum in experiment E2.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.errors import IndexError_
+from repro.features.base import FeatureExtractor
+from repro.features.fingerprint import Fingerprint
+from repro.graph.graph import Graph
+from repro.index.base import DatasetIndex, GraphId
+from repro.query_model import QueryType
+
+
+class FingerprintIndex(DatasetIndex):
+    """One hashed fingerprint per graph."""
+
+    name = "fingerprint"
+
+    def __init__(self, extractor: FeatureExtractor, num_bits: int = 1024) -> None:
+        if num_bits <= 0:
+            raise IndexError_("num_bits must be positive")
+        self.extractor = extractor
+        self.num_bits = num_bits
+        self._fingerprints: dict[GraphId, Fingerprint] = {}
+        self._graph_ids: list[GraphId] = []
+        self._built = False
+
+    def build(self, dataset: Iterable[Graph]) -> None:
+        """Fingerprint every dataset graph."""
+        if self._built:
+            raise IndexError_("index is already built")
+        for position, graph in enumerate(dataset):
+            graph_id = graph.graph_id if graph.graph_id is not None else position
+            if graph_id in self._fingerprints:
+                raise IndexError_(f"duplicate graph id {graph_id!r} in dataset")
+            features = self.extractor.extract(graph)
+            self._fingerprints[graph_id] = Fingerprint.from_features(features, self.num_bits)
+            self._graph_ids.append(graph_id)
+        self._built = True
+
+    def candidates(self, query: Graph, query_type: QueryType) -> set[GraphId]:
+        """Candidate ids via bitwise containment of fingerprints."""
+        self._require_built()
+        query_type = QueryType.parse(query_type)
+        query_fp = Fingerprint.from_features(self.extractor.extract(query), self.num_bits)
+        survivors: set[GraphId] = set()
+        for graph_id in self._graph_ids:
+            graph_fp = self._fingerprints[graph_id]
+            if query_type is QueryType.SUBGRAPH:
+                if graph_fp.contains_all(query_fp):
+                    survivors.add(graph_id)
+            else:
+                if query_fp.contains_all(graph_fp):
+                    survivors.add(graph_id)
+        return survivors
+
+    def graph_ids(self) -> list[GraphId]:
+        """All indexed graph ids, in dataset order."""
+        self._require_built()
+        return list(self._graph_ids)
+
+    def memory_bytes(self) -> int:
+        """Footprint: one fixed-width bitset per graph plus id overhead."""
+        per_graph = self.num_bits // 8 + 48
+        return per_graph * len(self._graph_ids)
+
+    def describe(self) -> dict[str, object]:
+        return {
+            "name": self.name,
+            "extractor": self.extractor.describe(),
+            "num_bits": self.num_bits,
+            "num_graphs": len(self._graph_ids),
+        }
+
+    def _require_built(self) -> None:
+        if not self._built:
+            raise IndexError_("index has not been built yet")

@@ -1,0 +1,129 @@
+"""Inverted feature index (feature → graphs that contain it).
+
+This is the workhorse FTV index: per feature it stores, for every dataset
+graph, how many times the feature occurs.  Filtering is then:
+
+* subgraph query ``g``: a graph ``G`` survives iff ``count_G(f) ≥ count_g(f)``
+  for every feature ``f`` of the query;
+* supergraph query ``g``: ``G`` survives iff ``count_G(f) ≤ count_g(f)`` for
+  every feature ``f`` of ``G`` (the graph may not contain anything the query
+  lacks).
+
+Both directions follow from the feature family's monotonicity under subgraph
+containment, so neither ever produces a false dismissal.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable
+
+from repro.errors import IndexError_
+from repro.features.base import FeatureExtractor, FeatureKey
+from repro.graph.graph import Graph
+from repro.index.base import DatasetIndex, GraphId, estimate_object_bytes
+from repro.query_model import QueryType
+
+
+class InvertedFeatureIndex(DatasetIndex):
+    """Inverted index over a feature extractor."""
+
+    name = "inverted"
+
+    def __init__(self, extractor: FeatureExtractor) -> None:
+        self.extractor = extractor
+        self._postings: dict[FeatureKey, dict[GraphId, int]] = {}
+        self._graph_features: dict[GraphId, Counter[FeatureKey]] = {}
+        self._graph_ids: list[GraphId] = []
+        self._built = False
+
+    # ------------------------------------------------------------------ #
+    # build
+    # ------------------------------------------------------------------ #
+    def build(self, dataset: Iterable[Graph]) -> None:
+        """Extract features from every dataset graph and fill the postings."""
+        if self._built:
+            raise IndexError_("index is already built")
+        for position, graph in enumerate(dataset):
+            graph_id = graph.graph_id if graph.graph_id is not None else position
+            if graph_id in self._graph_features:
+                raise IndexError_(f"duplicate graph id {graph_id!r} in dataset")
+            features = self.extractor.extract(graph)
+            self._graph_ids.append(graph_id)
+            self._graph_features[graph_id] = features
+            for key, count in features.items():
+                self._postings.setdefault(key, {})[graph_id] = count
+        self._built = True
+
+    # ------------------------------------------------------------------ #
+    # query
+    # ------------------------------------------------------------------ #
+    def candidates(self, query: Graph, query_type: QueryType) -> set[GraphId]:
+        """Candidate graph ids for a query of the given type."""
+        self._require_built()
+        query_type = QueryType.parse(query_type)
+        query_features = self.extractor.extract(query)
+        if query_type is QueryType.SUBGRAPH:
+            return self._subgraph_candidates(query_features)
+        return self._supergraph_candidates(query_features)
+
+    def _subgraph_candidates(self, query_features: Counter[FeatureKey]) -> set[GraphId]:
+        survivors = set(self._graph_ids)
+        # intersect rarest-feature postings first for early termination
+        ordered = sorted(
+            query_features.items(), key=lambda item: len(self._postings.get(item[0], {}))
+        )
+        for key, needed in ordered:
+            postings = self._postings.get(key)
+            if not postings:
+                return set()
+            survivors &= {graph_id for graph_id, count in postings.items() if count >= needed}
+            if not survivors:
+                return set()
+        return survivors
+
+    def _supergraph_candidates(self, query_features: Counter[FeatureKey]) -> set[GraphId]:
+        survivors: set[GraphId] = set()
+        for graph_id in self._graph_ids:
+            graph_features = self._graph_features[graph_id]
+            if FeatureExtractor.multiset_contains(query_features, graph_features):
+                survivors.add(graph_id)
+        return survivors
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    def graph_ids(self) -> list[GraphId]:
+        """All indexed graph ids, in dataset order."""
+        self._require_built()
+        return list(self._graph_ids)
+
+    def num_features(self) -> int:
+        """Number of distinct features across the dataset."""
+        return len(self._postings)
+
+    def graph_features(self, graph_id: GraphId) -> Counter[FeatureKey]:
+        """The stored feature multiset of one dataset graph."""
+        self._require_built()
+        try:
+            return self._graph_features[graph_id]
+        except KeyError:
+            raise IndexError_(f"graph id {graph_id!r} is not indexed") from None
+
+    def memory_bytes(self) -> int:
+        """Approximate memory footprint of the postings and per-graph multisets."""
+        return estimate_object_bytes(self._postings) + estimate_object_bytes(
+            self._graph_features
+        )
+
+    def describe(self) -> dict[str, object]:
+        return {
+            "name": self.name,
+            "extractor": self.extractor.describe(),
+            "num_graphs": len(self._graph_ids),
+            "num_features": len(self._postings),
+        }
+
+    def _require_built(self) -> None:
+        if not self._built:
+            raise IndexError_("index has not been built yet")

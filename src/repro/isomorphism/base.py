@@ -1,0 +1,123 @@
+"""Common interfaces for the subgraph isomorphism engines (the "Verifier").
+
+GC treats the sub-iso implementation as a pluggable component of Method M.
+Every engine implements :class:`SubgraphMatcher`; the cache and the query
+runtime only depend on this interface, so alternative verifiers (including
+the networkx cross-check backend) can be swapped in freely.
+
+Matching semantics follow the paper: *non-induced* subgraph isomorphism on
+undirected graphs with vertex labels (edge labels are honoured when present
+on the query).  A query vertex may only be mapped to a target vertex with an
+identical label; every query edge must map to a target edge.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass, field
+
+from repro.graph.graph import Graph, VertexId
+
+
+@dataclass
+class MatchStats:
+    """Instrumentation collected during one sub-iso test.
+
+    The PIN/PINC replacement policies need per-test costs, and the
+    Demonstrator reports numbers of sub-iso tests — both come from here.
+    """
+
+    states_visited: int = 0
+    backtracks: int = 0
+    elapsed_seconds: float = 0.0
+
+    def merge(self, other: "MatchStats") -> None:
+        """Accumulate another test's counters into this one."""
+        self.states_visited += other.states_visited
+        self.backtracks += other.backtracks
+        self.elapsed_seconds += other.elapsed_seconds
+
+
+@dataclass
+class MatchResult:
+    """Outcome of one subgraph isomorphism test."""
+
+    found: bool
+    mapping: dict[VertexId, VertexId] | None = None
+    stats: MatchStats = field(default_factory=MatchStats)
+
+    def __bool__(self) -> bool:  # pragma: no cover - trivial
+        return self.found
+
+
+class SubgraphMatcher(abc.ABC):
+    """Abstract subgraph isomorphism engine.
+
+    Subclasses implement :meth:`find_embedding`; the convenience methods
+    :meth:`is_subgraph` and :meth:`count_embeddings` are derived from it.
+    """
+
+    #: Human readable engine name (used in registries and reports).
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def find_embedding(self, query: Graph, target: Graph) -> MatchResult:
+        """Search for one embedding of ``query`` into ``target``."""
+
+    def is_subgraph(self, query: Graph, target: Graph) -> bool:
+        """Return True iff ``query`` is subgraph-isomorphic to ``target``."""
+        return self.find_embedding(query, target).found
+
+    def find_all_embeddings(
+        self, query: Graph, target: Graph, limit: int | None = None
+    ) -> list[dict[VertexId, VertexId]]:
+        """Enumerate embeddings (default implementation raises).
+
+        Engines that support enumeration override this; GC itself only needs
+        the boolean test, so enumeration is optional.
+        """
+        raise NotImplementedError(f"{self.name} does not support embedding enumeration")
+
+    def count_embeddings(self, query: Graph, target: Graph, limit: int | None = None) -> int:
+        """Count embeddings (delegates to :meth:`find_all_embeddings`)."""
+        return len(self.find_all_embeddings(query, target, limit=limit))
+
+
+def compatible_labels(query: Graph, target: Graph, q_vertex: VertexId, t_vertex: VertexId) -> bool:
+    """Label compatibility rule shared by every engine."""
+    return query.label(q_vertex) == target.label(t_vertex)
+
+
+def trivially_impossible(query: Graph, target: Graph) -> bool:
+    """Cheap necessary-condition screen shared by every engine.
+
+    Returns True when the query certainly cannot embed into the target
+    (size, label multiset, or degree bounds are violated).
+    """
+    if query.num_vertices > target.num_vertices or query.num_edges > target.num_edges:
+        return True
+    target_counts = target.label_counts()
+    for label, count in query.label_counts().items():
+        if target_counts.get(label, 0) < count:
+            return True
+    if query.num_vertices and max(query.degree_sequence(), default=0) > max(
+        target.degree_sequence(), default=0
+    ):
+        return True
+    return False
+
+
+class timed:
+    """Context manager measuring wall-clock time into a :class:`MatchStats`."""
+
+    def __init__(self, stats: MatchStats) -> None:
+        self._stats = stats
+        self._start = 0.0
+
+    def __enter__(self) -> "timed":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._stats.elapsed_seconds += time.perf_counter() - self._start

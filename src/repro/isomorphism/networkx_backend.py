@@ -1,0 +1,64 @@
+"""networkx-backed matcher, used mainly for cross-validation in tests.
+
+The repository's own engines (:class:`VF2Matcher`, :class:`UllmannMatcher`)
+are implemented from scratch; this wrapper around
+:class:`networkx.algorithms.isomorphism.GraphMatcher` provides an independent
+oracle so property-based tests can assert agreement on random graphs.  It is
+also a legitimate Verifier for Method M (slower, but trusted).
+"""
+
+from __future__ import annotations
+
+from repro.graph.graph import Graph, VertexId
+from repro.isomorphism.base import MatchResult, MatchStats, SubgraphMatcher, timed, trivially_impossible
+
+
+class NetworkXMatcher(SubgraphMatcher):
+    """Subgraph monomorphism via networkx's GraphMatcher."""
+
+    name = "networkx"
+
+    def find_embedding(self, query: Graph, target: Graph) -> MatchResult:
+        """Find one embedding of ``query`` into ``target`` using networkx."""
+        import networkx.algorithms.isomorphism as iso
+
+        stats = MatchStats()
+        with timed(stats):
+            if query.num_vertices == 0:
+                return MatchResult(found=True, mapping={}, stats=stats)
+            if trivially_impossible(query, target):
+                return MatchResult(found=False, mapping=None, stats=stats)
+            matcher = iso.GraphMatcher(
+                target.to_networkx(),
+                query.to_networkx(),
+                node_match=iso.categorical_node_match("label", ""),
+            )
+            # networkx's "monomorphism" is the paper's non-induced semantics
+            found = matcher.subgraph_is_monomorphic()
+            mapping: dict[VertexId, VertexId] | None = None
+            if found:
+                # networkx maps target -> query; invert to query -> target
+                mapping = {q: t for t, q in matcher.mapping.items()}
+        return MatchResult(found=found, mapping=mapping, stats=stats)
+
+    def find_all_embeddings(
+        self, query: Graph, target: Graph, limit: int | None = None
+    ) -> list[dict[VertexId, VertexId]]:
+        """Enumerate embeddings via networkx (used only in tests)."""
+        import networkx.algorithms.isomorphism as iso
+
+        if query.num_vertices == 0:
+            return [{}]
+        if trivially_impossible(query, target):
+            return []
+        matcher = iso.GraphMatcher(
+            target.to_networkx(),
+            query.to_networkx(),
+            node_match=iso.categorical_node_match("label", ""),
+        )
+        results: list[dict[VertexId, VertexId]] = []
+        for mapping in matcher.subgraph_monomorphisms_iter():
+            results.append({q: t for t, q in mapping.items()})
+            if limit is not None and len(results) >= limit:
+                break
+        return results

@@ -1,0 +1,167 @@
+"""Ullmann's subgraph isomorphism algorithm (baseline verifier).
+
+A classic matrix-refinement backtracking algorithm.  It is usually slower
+than VF2 on the sparse labelled graphs GC targets, which makes it a useful
+baseline: the GC speedups must hold regardless of the verifier plugged into
+Method M, and the benchmark suite runs both engines.
+
+The implementation follows the textbook formulation with the standard
+refinement step: a candidate assignment ``q → t`` survives only if every
+neighbour of ``q`` still has at least one candidate among the neighbours of
+``t``.  Matching is non-induced, with exact vertex-label equality and
+optional edge-label constraints, mirroring :class:`VF2Matcher`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import BudgetExceededError
+from repro.graph.graph import Graph, VertexId
+from repro.isomorphism.base import (
+    MatchResult,
+    MatchStats,
+    SubgraphMatcher,
+    timed,
+    trivially_impossible,
+)
+
+
+class UllmannMatcher(SubgraphMatcher):
+    """Ullmann-style matcher with candidate-set refinement."""
+
+    name = "ullmann"
+
+    def __init__(self, node_budget: int | None = None) -> None:
+        self.node_budget = node_budget
+
+    def find_embedding(self, query: Graph, target: Graph) -> MatchResult:
+        """Find one embedding of ``query`` into ``target`` (or report none)."""
+        stats = MatchStats()
+        with timed(stats):
+            if query.num_vertices == 0:
+                return MatchResult(found=True, mapping={}, stats=stats)
+            if trivially_impossible(query, target):
+                return MatchResult(found=False, mapping=None, stats=stats)
+            candidates = self._initial_candidates(query, target)
+            if candidates is None:
+                return MatchResult(found=False, mapping=None, stats=stats)
+            order = sorted(query.vertices(), key=lambda v: len(candidates[v]))
+            mapping = self._search(query, target, order, 0, candidates, {}, stats)
+        return MatchResult(found=mapping is not None, mapping=mapping, stats=stats)
+
+    def find_all_embeddings(
+        self, query: Graph, target: Graph, limit: int | None = None
+    ) -> list[dict[VertexId, VertexId]]:
+        """Enumerate (up to ``limit``) embeddings of ``query`` into ``target``."""
+        stats = MatchStats()
+        if query.num_vertices == 0:
+            return [{}]
+        if trivially_impossible(query, target):
+            return []
+        candidates = self._initial_candidates(query, target)
+        if candidates is None:
+            return []
+        order = sorted(query.vertices(), key=lambda v: len(candidates[v]))
+        results: list[dict[VertexId, VertexId]] = []
+        self._search(query, target, order, 0, candidates, {}, stats, results, limit)
+        return results
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _initial_candidates(
+        self, query: Graph, target: Graph
+    ) -> dict[VertexId, set[VertexId]] | None:
+        """Label/degree-compatible candidate sets, refined to a fixed point."""
+        candidates: dict[VertexId, set[VertexId]] = {}
+        for q_vertex in query.vertices():
+            pool = {
+                t_vertex
+                for t_vertex in target.vertices()
+                if target.label(t_vertex) == query.label(q_vertex)
+                and target.degree(t_vertex) >= query.degree(q_vertex)
+            }
+            if not pool:
+                return None
+            candidates[q_vertex] = pool
+        if not self._refine(query, target, candidates):
+            return None
+        return candidates
+
+    def _refine(
+        self, query: Graph, target: Graph, candidates: dict[VertexId, set[VertexId]]
+    ) -> bool:
+        """Ullmann refinement to a fixed point; False when a set empties."""
+        changed = True
+        while changed:
+            changed = False
+            for q_vertex in query.vertices():
+                doomed: list[VertexId] = []
+                for t_vertex in candidates[q_vertex]:
+                    for q_neighbor in query.neighbors(q_vertex):
+                        t_neighbors = target.neighbors(t_vertex)
+                        if not candidates[q_neighbor] & t_neighbors:
+                            doomed.append(t_vertex)
+                            break
+                if doomed:
+                    candidates[q_vertex] -= set(doomed)
+                    changed = True
+                    if not candidates[q_vertex]:
+                        return False
+        return True
+
+    def _search(
+        self,
+        query: Graph,
+        target: Graph,
+        order: list[VertexId],
+        depth: int,
+        candidates: dict[VertexId, set[VertexId]],
+        mapping: dict[VertexId, VertexId],
+        stats: MatchStats,
+        results: list[dict[VertexId, VertexId]] | None = None,
+        limit: int | None = None,
+    ) -> dict[VertexId, VertexId] | None:
+        if depth == len(order):
+            if results is None:
+                return dict(mapping)
+            results.append(dict(mapping))
+            return None
+        q_vertex = order[depth]
+        used = set(mapping.values())
+        for t_vertex in sorted(candidates[q_vertex], key=repr):
+            stats.states_visited += 1
+            if self.node_budget is not None and stats.states_visited > self.node_budget:
+                raise BudgetExceededError(self.node_budget)
+            if t_vertex in used:
+                continue
+            if not self._consistent(query, target, mapping, q_vertex, t_vertex):
+                continue
+            mapping[q_vertex] = t_vertex
+            found = self._search(
+                query, target, order, depth + 1, candidates, mapping, stats, results, limit
+            )
+            if results is None and found is not None:
+                return found
+            del mapping[q_vertex]
+            stats.backtracks += 1
+            if results is not None and limit is not None and len(results) >= limit:
+                return None
+        return None
+
+    def _consistent(
+        self,
+        query: Graph,
+        target: Graph,
+        mapping: dict[VertexId, VertexId],
+        q_vertex: VertexId,
+        t_vertex: VertexId,
+    ) -> bool:
+        for q_neighbor in query.neighbors(q_vertex):
+            if q_neighbor in mapping:
+                t_neighbor = mapping[q_neighbor]
+                if not target.has_edge(t_vertex, t_neighbor):
+                    return False
+                q_edge_label = query.edge_label(q_vertex, q_neighbor)
+                if q_edge_label is not None and target.edge_label(t_vertex, t_neighbor) != q_edge_label:
+                    return False
+        return True

@@ -1,0 +1,239 @@
+"""VF2-style subgraph isomorphism engine.
+
+This is a from-scratch implementation of the VF2 algorithm of Cordella et al.
+(TPAMI 2004, reference [3] of the paper), adapted to *non-induced* matching
+(subgraph monomorphism): every query edge must be mapped onto a target edge,
+while extra target edges between mapped vertices are allowed.  Vertex labels
+must match exactly; query edge labels, when present, must match the target
+edge labels.
+
+The engine records :class:`~repro.isomorphism.base.MatchStats` (states
+visited, backtracks, wall-clock time); the PINC replacement policy and the
+Demonstrator's cost accounting are driven by these counters.
+"""
+
+from __future__ import annotations
+
+from repro.errors import BudgetExceededError
+from repro.graph.graph import Graph, VertexId
+from repro.isomorphism.base import (
+    MatchResult,
+    MatchStats,
+    SubgraphMatcher,
+    timed,
+    trivially_impossible,
+)
+
+
+class VF2Matcher(SubgraphMatcher):
+    """VF2 subgraph (monomorphism) matcher.
+
+    Parameters
+    ----------
+    node_budget:
+        Optional cap on the number of search states; exceeding it raises
+        :class:`~repro.errors.BudgetExceededError`.  ``None`` disables the cap
+        (queries in this domain are small, so unbounded is the default).
+    induced:
+        When True, matching is *induced*: non-adjacent query vertices must map
+        to non-adjacent target vertices.  The paper's semantics (and the
+        default) is non-induced.
+    """
+
+    name = "vf2"
+
+    def __init__(self, node_budget: int | None = None, induced: bool = False) -> None:
+        self.node_budget = node_budget
+        self.induced = induced
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    def find_embedding(self, query: Graph, target: Graph) -> MatchResult:
+        """Find one embedding of ``query`` into ``target`` (or report none)."""
+        stats = MatchStats()
+        with timed(stats):
+            if query.num_vertices == 0:
+                return MatchResult(found=True, mapping={}, stats=stats)
+            if trivially_impossible(query, target):
+                return MatchResult(found=False, mapping=None, stats=stats)
+            state = _SearchState(query, target, self.induced, self.node_budget, stats)
+            mapping = state.search_one()
+        return MatchResult(found=mapping is not None, mapping=mapping, stats=stats)
+
+    def find_all_embeddings(
+        self, query: Graph, target: Graph, limit: int | None = None
+    ) -> list[dict[VertexId, VertexId]]:
+        """Enumerate (up to ``limit``) embeddings of ``query`` into ``target``."""
+        stats = MatchStats()
+        if query.num_vertices == 0:
+            return [{}]
+        if trivially_impossible(query, target):
+            return []
+        state = _SearchState(query, target, self.induced, self.node_budget, stats)
+        return state.search_all(limit)
+
+
+class _SearchState:
+    """Mutable VF2 search state for one (query, target) pair."""
+
+    def __init__(
+        self,
+        query: Graph,
+        target: Graph,
+        induced: bool,
+        node_budget: int | None,
+        stats: MatchStats,
+    ) -> None:
+        self.query = query
+        self.target = target
+        self.induced = induced
+        self.node_budget = node_budget
+        self.stats = stats
+        self.core_query: dict[VertexId, VertexId] = {}
+        self.core_target: dict[VertexId, VertexId] = {}
+        self.query_order = self._compute_query_order()
+        # per-query-vertex candidate label sets precomputed for speed
+        self.candidates_by_label: dict[str, list[VertexId]] = {}
+        for t_vertex in target.vertices():
+            self.candidates_by_label.setdefault(target.label(t_vertex), []).append(t_vertex)
+
+    # ------------------------------------------------------------------ #
+    # ordering heuristics
+    # ------------------------------------------------------------------ #
+    def _compute_query_order(self) -> list[VertexId]:
+        """Order query vertices: rarest label & highest degree first, then by
+        connectivity to already-ordered vertices (a connected expansion order
+        dramatically reduces backtracking)."""
+        query = self.query
+        target_label_counts = self.target.label_counts()
+
+        def rarity(vertex: VertexId) -> tuple[int, int]:
+            return (
+                target_label_counts.get(query.label(vertex), 0),
+                -query.degree(vertex),
+            )
+
+        remaining = set(query.vertices())
+        if not remaining:
+            return []
+        order: list[VertexId] = []
+        start = min(remaining, key=rarity)
+        order.append(start)
+        remaining.discard(start)
+        while remaining:
+            frontier = [v for v in remaining if any(n in order for n in query.neighbors(v))]
+            pool = frontier or list(remaining)
+            nxt = min(
+                pool,
+                key=lambda v: (
+                    -sum(1 for n in query.neighbors(v) if n in order),
+                    rarity(v),
+                ),
+            )
+            order.append(nxt)
+            remaining.discard(nxt)
+        return order
+
+    # ------------------------------------------------------------------ #
+    # search
+    # ------------------------------------------------------------------ #
+    def search_one(self) -> dict[VertexId, VertexId] | None:
+        return self._recurse(0, None)
+
+    def search_all(self, limit: int | None) -> list[dict[VertexId, VertexId]]:
+        found: list[dict[VertexId, VertexId]] = []
+        self._recurse(0, found, limit=limit)
+        return found
+
+    def _recurse(
+        self,
+        depth: int,
+        collector: list[dict[VertexId, VertexId]] | None,
+        limit: int | None = None,
+    ) -> dict[VertexId, VertexId] | None:
+        if depth == len(self.query_order):
+            mapping = dict(self.core_query)
+            if collector is None:
+                return mapping
+            collector.append(mapping)
+            return None
+        q_vertex = self.query_order[depth]
+        for t_vertex in self._candidate_targets(q_vertex):
+            self.stats.states_visited += 1
+            if self.node_budget is not None and self.stats.states_visited > self.node_budget:
+                raise BudgetExceededError(self.node_budget)
+            if not self._feasible(q_vertex, t_vertex):
+                continue
+            self.core_query[q_vertex] = t_vertex
+            self.core_target[t_vertex] = q_vertex
+            result = self._recurse(depth + 1, collector, limit)
+            if collector is None and result is not None:
+                return result
+            del self.core_query[q_vertex]
+            del self.core_target[t_vertex]
+            self.stats.backtracks += 1
+            if collector is not None and limit is not None and len(collector) >= limit:
+                return None
+        return None
+
+    def _candidate_targets(self, q_vertex: VertexId) -> list[VertexId]:
+        """Candidate target vertices for ``q_vertex``.
+
+        If the query vertex has an already-mapped neighbour, candidates are
+        restricted to the target neighbours of that neighbour's image —
+        the core VF2 "connected extension" optimisation.
+        """
+        label = self.query.label(q_vertex)
+        mapped_neighbors = [n for n in self.query.neighbors(q_vertex) if n in self.core_query]
+        if mapped_neighbors:
+            anchor = min(
+                mapped_neighbors,
+                key=lambda n: len(self.target.neighbors(self.core_query[n])),
+            )
+            pool = self.target.neighbors(self.core_query[anchor])
+            return [t for t in pool if t not in self.core_target and self.target.label(t) == label]
+        return [t for t in self.candidates_by_label.get(label, []) if t not in self.core_target]
+
+    def _feasible(self, q_vertex: VertexId, t_vertex: VertexId) -> bool:
+        query, target = self.query, self.target
+        if target.degree(t_vertex) < query.degree(q_vertex):
+            return False
+        # consistency with already-mapped neighbours
+        for q_neighbor in query.neighbors(q_vertex):
+            if q_neighbor in self.core_query:
+                t_neighbor = self.core_query[q_neighbor]
+                if not target.has_edge(t_vertex, t_neighbor):
+                    return False
+                q_edge_label = query.edge_label(q_vertex, q_neighbor)
+                if q_edge_label is not None:
+                    if target.edge_label(t_vertex, t_neighbor) != q_edge_label:
+                        return False
+        if self.induced:
+            # non-adjacent mapped query vertices must stay non-adjacent
+            for q_other, t_other in self.core_query.items():
+                if q_other == q_vertex:
+                    continue
+                if not query.has_edge(q_vertex, q_other) and target.has_edge(t_vertex, t_other):
+                    return False
+        # 1-look-ahead: unmapped query neighbours need enough unmapped,
+        # label-compatible target neighbours
+        unmapped_query_neighbors = [
+            n for n in query.neighbors(q_vertex) if n not in self.core_query
+        ]
+        if unmapped_query_neighbors:
+            unmapped_target_neighbors = [
+                n for n in target.neighbors(t_vertex) if n not in self.core_target
+            ]
+            if len(unmapped_target_neighbors) < len(unmapped_query_neighbors):
+                return False
+            target_labels: dict[str, int] = {}
+            for n in unmapped_target_neighbors:
+                target_labels[target.label(n)] = target_labels.get(target.label(n), 0) + 1
+            needed: dict[str, int] = {}
+            for n in unmapped_query_neighbors:
+                needed[query.label(n)] = needed.get(query.label(n), 0) + 1
+            for label, count in needed.items():
+                if target_labels.get(label, 0) < count:
+                    return False
+        return True

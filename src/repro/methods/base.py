@@ -1,0 +1,209 @@
+"""Method M: the pluggable filter-then-verify query processor.
+
+In the paper's architecture (Fig. 1) Method M is the component GC wraps: it
+owns the dataset graphs, a Filter (a dataset index — possibly trivial) and a
+Verifier (a sub-iso engine).  GC never re-implements query answering; it only
+*reduces the candidate set* Method M would have verified.
+
+:class:`MethodM` therefore exposes both the classic full execution
+(:meth:`execute`) used by the no-cache baseline, and
+:meth:`verify_candidates`, which GC calls with its pruned candidate set.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass, field
+from collections.abc import Iterable, Sequence
+
+from repro.errors import MethodError
+from repro.graph.graph import Graph
+from repro.index.base import DatasetIndex, GraphId
+from repro.isomorphism.base import SubgraphMatcher
+from repro.isomorphism.instrumentation import CountingMatcher
+from repro.isomorphism.vf2 import VF2Matcher
+from repro.query_model import QueryType
+
+
+@dataclass
+class VerificationOutcome:
+    """Result of verifying one batch of candidates."""
+
+    answers: set[GraphId] = field(default_factory=set)
+    num_tests: int = 0
+    verify_seconds: float = 0.0
+
+
+@dataclass
+class MethodResult:
+    """Full outcome of processing one query with Method M (no cache)."""
+
+    answer: set[GraphId] = field(default_factory=set)
+    candidates: set[GraphId] = field(default_factory=set)
+    num_subiso_tests: int = 0
+    filter_seconds: float = 0.0
+    verify_seconds: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        """Filtering plus verification time."""
+        return self.filter_seconds + self.verify_seconds
+
+
+class MethodM(abc.ABC):
+    """Base class for filter-then-verify (and plain SI) methods."""
+
+    name: str = "abstract"
+
+    def __init__(self, verifier: SubgraphMatcher | None = None) -> None:
+        self.verifier = CountingMatcher(verifier or VF2Matcher())
+        #: Number of worker threads used to verify the candidates of a single
+        #: query (GraphCache's thread resource management).  1 = sequential.
+        #: Mutable so the runtime can configure it after construction.
+        self.verify_threads = 1
+        self._dataset: dict[GraphId, Graph] = {}
+        self._graph_order: list[GraphId] = []
+        self._built = False
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def build(self, dataset: Sequence[Graph] | Iterable[Graph]) -> None:
+        """Register the dataset graphs and build the filter index."""
+        if self._built:
+            raise MethodError(f"{self.name} has already been built")
+        graphs = list(dataset)
+        for position, graph in enumerate(graphs):
+            graph_id = graph.graph_id if graph.graph_id is not None else position
+            if graph_id in self._dataset:
+                raise MethodError(f"duplicate graph id {graph_id!r} in dataset")
+            self._dataset[graph_id] = graph
+            self._graph_order.append(graph_id)
+        self._build_filter(graphs)
+        self._built = True
+
+    @abc.abstractmethod
+    def _build_filter(self, dataset: list[Graph]) -> None:
+        """Build the method-specific filter structure (may be a no-op)."""
+
+    @abc.abstractmethod
+    def _filter_candidates(self, query: Graph, query_type: QueryType) -> set[GraphId]:
+        """Return the candidate ids produced by the method's filter."""
+
+    # ------------------------------------------------------------------ #
+    # dataset access
+    # ------------------------------------------------------------------ #
+    def graph_ids(self) -> list[GraphId]:
+        """All dataset graph ids in dataset order."""
+        self._require_built()
+        return list(self._graph_order)
+
+    def dataset_graph(self, graph_id: GraphId) -> Graph:
+        """Look up one dataset graph by id."""
+        self._require_built()
+        try:
+            return self._dataset[graph_id]
+        except KeyError:
+            raise MethodError(f"graph id {graph_id!r} is not part of the dataset") from None
+
+    @property
+    def dataset_size(self) -> int:
+        """Number of dataset graphs."""
+        return len(self._graph_order)
+
+    # ------------------------------------------------------------------ #
+    # query processing
+    # ------------------------------------------------------------------ #
+    def filter_candidates(self, query: Graph, query_type: QueryType | str) -> set[GraphId]:
+        """Run only the filtering stage and return the candidate set."""
+        self._require_built()
+        return self._filter_candidates(query, QueryType.parse(query_type))
+
+    def verify_one(self, query: Graph, graph_id: GraphId, query_type: QueryType | str) -> bool:
+        """Run one sub-iso test between the query and a dataset graph.
+
+        For subgraph queries the test is ``query ⊆ G``; for supergraph
+        queries it is ``G ⊆ query``.
+        """
+        self._require_built()
+        query_type = QueryType.parse(query_type)
+        target = self.dataset_graph(graph_id)
+        if query_type is QueryType.SUBGRAPH:
+            return self.verifier.is_subgraph(query, target)
+        return self.verifier.is_subgraph(target, query)
+
+    def verify_candidates(
+        self, query: Graph, candidates: Iterable[GraphId], query_type: QueryType | str
+    ) -> VerificationOutcome:
+        """Verify every candidate and return the confirmed answers.
+
+        With ``verify_threads > 1`` the sub-iso tests of one query run on a
+        thread pool; results are identical to the sequential path.
+        """
+        self._require_built()
+        query_type = QueryType.parse(query_type)
+        candidate_list = list(candidates)
+        outcome = VerificationOutcome()
+        start = time.perf_counter()
+        if self.verify_threads > 1 and len(candidate_list) > 1:
+            from concurrent.futures import ThreadPoolExecutor
+
+            with ThreadPoolExecutor(max_workers=self.verify_threads) as pool:
+                verdicts = list(
+                    pool.map(
+                        lambda graph_id: (graph_id, self.verify_one(query, graph_id, query_type)),
+                        candidate_list,
+                    )
+                )
+            for graph_id, matched in verdicts:
+                if matched:
+                    outcome.answers.add(graph_id)
+                outcome.num_tests += 1
+        else:
+            for graph_id in candidate_list:
+                if self.verify_one(query, graph_id, query_type):
+                    outcome.answers.add(graph_id)
+                outcome.num_tests += 1
+        outcome.verify_seconds = time.perf_counter() - start
+        return outcome
+
+    def execute(self, query: Graph, query_type: QueryType | str) -> MethodResult:
+        """Classic filter-then-verify execution without any cache."""
+        self._require_built()
+        query_type = QueryType.parse(query_type)
+        result = MethodResult()
+        start = time.perf_counter()
+        result.candidates = self._filter_candidates(query, query_type)
+        result.filter_seconds = time.perf_counter() - start
+        outcome = self.verify_candidates(query, sorted(result.candidates, key=repr), query_type)
+        result.answer = outcome.answers
+        result.num_subiso_tests = outcome.num_tests
+        result.verify_seconds = outcome.verify_seconds
+        return result
+
+    # ------------------------------------------------------------------ #
+    # accounting
+    # ------------------------------------------------------------------ #
+    def index_memory_bytes(self) -> int:
+        """Memory footprint of the method's filter index (0 if none)."""
+        index = getattr(self, "index", None)
+        if isinstance(index, DatasetIndex):
+            return index.memory_bytes()
+        return 0
+
+    def describe(self) -> dict[str, object]:
+        """Describe the method and its filter for reports."""
+        description: dict[str, object] = {
+            "name": self.name,
+            "verifier": self.verifier.inner.name,
+            "dataset_size": self.dataset_size,
+        }
+        index = getattr(self, "index", None)
+        if isinstance(index, DatasetIndex):
+            description["index"] = index.describe()
+        return description
+
+    def _require_built(self) -> None:
+        if not self._built:
+            raise MethodError(f"{self.name} has not been built over a dataset yet")

@@ -1,0 +1,16 @@
+"""Query Processing Runtime: configuration, executor, reports and the facade."""
+
+from repro.query_model import Query, QueryType
+from repro.runtime.config import GCConfig
+from repro.runtime.executor import QueryExecutor
+from repro.runtime.report import QueryReport
+from repro.runtime.system import GraphCacheSystem
+
+__all__ = [
+    "Query",
+    "QueryType",
+    "GCConfig",
+    "QueryExecutor",
+    "QueryReport",
+    "GraphCacheSystem",
+]

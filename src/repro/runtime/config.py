@@ -1,0 +1,86 @@
+"""Configuration of the GC runtime.
+
+A single dataclass gathers every knob of the system — cache capacity, window
+size, replacement policy, verifier, probing limits — so experiments can be
+described declaratively and reports can serialise the exact configuration
+they ran under.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class GCConfig:
+    """Complete configuration of a :class:`~repro.runtime.system.GraphCacheSystem`."""
+
+    # --- cache manager -------------------------------------------------
+    cache_capacity: int = 50
+    replacement_policy: str = "HD"
+    window_size: int = 10
+    min_tests_to_admit: int = 0
+    #: Maximum confirmed hits used per direction (None = unlimited).
+    max_sub_hits: int | None = None
+    max_super_hits: int | None = None
+    #: Maximum path length of the cached-query feature index.
+    cache_feature_length: int = 2
+    #: Toggle the semantic hit directions.  Disabling both degrades GC to a
+    #: traditional exact-match-only result cache (the baseline the paper's
+    #: contribution extends).
+    enable_sub_case: bool = True
+    enable_super_case: bool = True
+    #: Optional approximate byte budget for the cache contents ("2GB memory"
+    #: style sizing); None disables byte-based admission control.
+    cache_memory_budget_bytes: int | None = None
+
+    # --- method M -------------------------------------------------------
+    method: str = "graphgrep-sx"
+    method_options: dict = field(default_factory=dict)
+    verifier: str = "vf2"
+    #: Number of worker threads used to verify candidates of one query
+    #: (GraphCache's thread resource management); 1 means sequential.
+    verify_threads: int = 1
+
+    # --- accounting ------------------------------------------------------
+    #: When True, each query is *also* executed by plain Method M so that the
+    #: reported time speedup is a measurement rather than an estimate.
+    measure_baseline: bool = False
+    #: Whether the cache is enabled at all (False = pass-through baseline).
+    cache_enabled: bool = True
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigurationError` on inconsistent settings."""
+        if self.cache_capacity < 1:
+            raise ConfigurationError("cache_capacity must be at least 1")
+        if self.window_size < 1:
+            raise ConfigurationError("window_size must be at least 1")
+        if self.window_size > self.cache_capacity:
+            raise ConfigurationError(
+                "window_size must not exceed cache_capacity "
+                f"({self.window_size} > {self.cache_capacity})"
+            )
+        if self.min_tests_to_admit < 0:
+            raise ConfigurationError("min_tests_to_admit must be non-negative")
+        if self.cache_feature_length < 1:
+            raise ConfigurationError("cache_feature_length must be at least 1")
+        for name, value in (("max_sub_hits", self.max_sub_hits), ("max_super_hits", self.max_super_hits)):
+            if value is not None and value < 1:
+                raise ConfigurationError(f"{name} must be at least 1 or None")
+        if self.cache_memory_budget_bytes is not None and self.cache_memory_budget_bytes <= 0:
+            raise ConfigurationError("cache_memory_budget_bytes must be positive or None")
+        if self.verify_threads < 1:
+            raise ConfigurationError("verify_threads must be at least 1")
+
+    def to_dict(self) -> dict:
+        """Serialise the configuration (for reports and experiment logs)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "GCConfig":
+        """Rebuild a configuration from :meth:`to_dict` output."""
+        config = cls(**payload)
+        config.validate()
+        return config

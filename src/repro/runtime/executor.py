@@ -1,0 +1,194 @@
+"""Query Processing Runtime: orchestrates Method M and the cache per query.
+
+For each query the executor performs the paper's pipeline (Fig. 3):
+
+1. run Method M's filter to obtain the candidate set ``C_M``;
+2. probe the cache (exact / sub case / super case hits);
+3. prune ``C_M`` with the hits into ``S``, ``S'`` and ``C``;
+4. verify only ``C`` with sub-iso tests, yielding ``R``;
+5. assemble the answer ``A = R ∪ S``;
+6. credit the contributing cache entries and offer the executed query for
+   admission.
+
+When the cache is disabled (or empty) steps 2–3 contribute nothing and the
+executor behaves exactly like Method M — the correctness property the test
+suite leans on is that the answers are identical in both modes.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.cache.graph_cache import CacheLookup, GraphCache
+from repro.cache.pruner import CandidateSetPruner, PruningResult
+from repro.cache.statistics import QueryRecord, StatisticsManager
+from repro.graph.graph import Graph
+from repro.methods.base import MethodM
+from repro.query_model import Query, QueryType
+from repro.runtime.report import QueryReport
+
+
+class QueryExecutor:
+    """Executes queries over Method M, accelerated by a :class:`GraphCache`."""
+
+    def __init__(
+        self,
+        method: MethodM,
+        cache: GraphCache | None,
+        statistics: StatisticsManager | None = None,
+        measure_baseline: bool = False,
+    ) -> None:
+        self.method = method
+        self.cache = cache
+        # note: "or" would discard an *empty* StatisticsManager (it is falsy)
+        self.statistics = statistics if statistics is not None else StatisticsManager()
+        self.measure_baseline = measure_baseline
+        self.pruner = CandidateSetPruner()
+        #: Running average cost of one dataset sub-iso test (seconds); used to
+        #: convert saved tests into saved time when a query runs no tests.
+        self._average_test_cost = 0.0
+        self._observed_tests = 0
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    def execute(self, query: Query | Graph, query_type: QueryType | str | None = None) -> QueryReport:
+        """Process one query and return its full report."""
+        query = self._coerce_query(query, query_type)
+        start = time.perf_counter()
+
+        # 1. Method M filter
+        filter_start = time.perf_counter()
+        method_candidates = self.method.filter_candidates(query.graph, query.query_type)
+        filter_seconds = time.perf_counter() - filter_start
+
+        report = QueryReport(query=query)
+        report.method_candidates = set(method_candidates)
+        report.baseline_tests = len(method_candidates)
+        report.filter_seconds = filter_seconds
+
+        # 2. cache lookup
+        lookup: CacheLookup | None = None
+        if self.cache is not None:
+            clock = self.cache.tick()
+            lookup = self.cache.lookup(query)
+            report.probe_tests = lookup.probe_tests
+            report.probe_seconds = lookup.probe_seconds
+            report.sub_hit_entries = [entry.entry_id for entry in lookup.sub_hits]
+            report.super_hit_entries = [entry.entry_id for entry in lookup.super_hits]
+            if lookup.exact_entry is not None:
+                report.exact_hit_entry = lookup.exact_entry.entry_id
+        else:
+            clock = 0
+
+        # 3. prune with the hits
+        pruning = self._prune(query, report, lookup)
+        report.guaranteed_answers = pruning.guaranteed_answers
+        report.guaranteed_non_answers = pruning.guaranteed_non_answers
+        report.verified_candidates = set(pruning.remaining_candidates)
+
+        # 4. verify what is left
+        outcome = self.method.verify_candidates(
+            query.graph, sorted(pruning.remaining_candidates, key=repr), query.query_type
+        )
+        report.verified_answers = outcome.answers
+        report.dataset_tests = outcome.num_tests
+        report.verify_seconds = outcome.verify_seconds
+
+        # 5. assemble the answer
+        report.answer = set(outcome.answers) | set(pruning.guaranteed_answers)
+
+        report.total_seconds = time.perf_counter() - start
+        self._update_average_cost(outcome.num_tests, outcome.verify_seconds)
+
+        # 6. credit + admission
+        if self.cache is not None and lookup is not None:
+            average_cost = self._per_test_cost(outcome.num_tests, outcome.verify_seconds)
+            self.cache.credit(lookup, pruning.per_hit_savings, average_cost, clock=clock)
+            self.cache.offer(
+                query,
+                report.answer,
+                tests_performed=report.baseline_tests,
+                observed_test_cost=average_cost,
+                clock=clock,
+            )
+
+        # optional measured baseline
+        if self.measure_baseline:
+            baseline = self.method.execute(query.graph, query.query_type)
+            report.baseline_seconds = baseline.total_seconds
+        else:
+            report.baseline_seconds = report.filter_seconds + (
+                report.baseline_tests * self._average_test_cost
+            )
+
+        self._record(report)
+        return report
+
+    def execute_baseline(self, query: Query | Graph, query_type: QueryType | str | None = None):
+        """Run plain Method M (no cache) for one query — the comparison arm."""
+        query = self._coerce_query(query, query_type)
+        return self.method.execute(query.graph, query.query_type)
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _coerce_query(query: Query | Graph, query_type: QueryType | str | None) -> Query:
+        if isinstance(query, Query):
+            return query
+        return Query(graph=query, query_type=QueryType.parse(query_type or QueryType.SUBGRAPH))
+
+    def _prune(
+        self, query: Query, report: QueryReport, lookup: CacheLookup | None
+    ) -> PruningResult:
+        if lookup is None or not lookup.any_hit:
+            return PruningResult(
+                method_candidates=set(report.method_candidates),
+                remaining_candidates=set(report.method_candidates),
+            )
+        if lookup.exact_entry is not None:
+            return self.pruner.exact_hit_result(report.method_candidates, lookup.exact_entry)
+        return self.pruner.prune(
+            query.query_type,
+            report.method_candidates,
+            lookup.sub_hits,
+            lookup.super_hits,
+        )
+
+    def _per_test_cost(self, tests: int, seconds: float) -> float:
+        if tests > 0:
+            return seconds / tests
+        return self._average_test_cost
+
+    def _update_average_cost(self, tests: int, seconds: float) -> None:
+        if tests <= 0:
+            return
+        total = self._average_test_cost * self._observed_tests + seconds
+        self._observed_tests += tests
+        self._average_test_cost = total / self._observed_tests
+
+    def _record(self, report: QueryReport) -> None:
+        record = QueryRecord(
+            query_id=report.query.query_id,
+            query_type=report.query.query_type,
+            num_vertices=report.query.num_vertices,
+            num_edges=report.query.num_edges,
+            exact_hit=report.exact_hit_entry is not None,
+            sub_hits=len(report.sub_hit_entries),
+            super_hits=len(report.super_hit_entries),
+            method_candidates=len(report.method_candidates),
+            guaranteed_answers=len(report.guaranteed_answers),
+            guaranteed_non_answers=len(report.guaranteed_non_answers),
+            verified_candidates=len(report.verified_candidates),
+            answer_size=len(report.answer),
+            dataset_tests=report.dataset_tests,
+            probe_tests=report.probe_tests,
+            filter_seconds=report.filter_seconds,
+            probe_seconds=report.probe_seconds,
+            verify_seconds=report.verify_seconds,
+            total_seconds=report.total_seconds,
+            baseline_tests=report.baseline_tests,
+            baseline_seconds=report.baseline_seconds,
+        )
+        self.statistics.record(record)

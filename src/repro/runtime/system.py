@@ -1,0 +1,154 @@
+"""GraphCacheSystem: the public facade of the GC reproduction.
+
+This is the class a downstream application embeds ("GC per se could be
+plugged into general graph systems as a library").  It wires up Method M, the
+graph cache and the query executor from a :class:`GCConfig` and exposes a
+small API: run queries, inspect statistics, measure memory overheads.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.cache.graph_cache import GraphCache
+from repro.cache.statistics import AggregateStatistics, QueryRecord, StatisticsManager
+from repro.errors import ConfigurationError
+from repro.features.paths import PathFeatureExtractor
+from repro.graph.graph import Graph
+from repro.isomorphism import make_matcher
+from repro.methods.base import MethodM
+from repro.methods.registry import make_method
+from repro.query_model import Query, QueryType
+from repro.runtime.config import GCConfig
+from repro.runtime.executor import QueryExecutor
+from repro.runtime.report import QueryReport
+
+
+class GraphCacheSystem:
+    """GC deployed over a Method M for a fixed dataset."""
+
+    def __init__(
+        self,
+        dataset: Sequence[Graph],
+        config: GCConfig | None = None,
+        method: MethodM | None = None,
+    ) -> None:
+        self.config = config or GCConfig()
+        self.config.validate()
+        self.dataset = list(dataset)
+        if not self.dataset:
+            raise ConfigurationError("the dataset must contain at least one graph")
+
+        if method is None:
+            verifier = make_matcher(self.config.verifier)
+            method = make_method(self.config.method, verifier=verifier, **self.config.method_options)
+        self.method = method
+        self.method.verify_threads = self.config.verify_threads
+        self.method.build(self.dataset)
+
+        self.cache: GraphCache | None = None
+        if self.config.cache_enabled:
+            self.cache = GraphCache(
+                capacity=self.config.cache_capacity,
+                policy=self.config.replacement_policy,
+                window_size=self.config.window_size,
+                min_tests_to_admit=self.config.min_tests_to_admit,
+                probe_matcher=make_matcher(self.config.verifier),
+                feature_extractor=PathFeatureExtractor(
+                    max_length=self.config.cache_feature_length
+                ),
+                max_sub_hits=self.config.max_sub_hits,
+                max_super_hits=self.config.max_super_hits,
+                enable_sub_case=self.config.enable_sub_case,
+                enable_super_case=self.config.enable_super_case,
+                memory_budget_bytes=self.config.cache_memory_budget_bytes,
+            )
+
+        self.statistics = StatisticsManager()
+        self.executor = QueryExecutor(
+            method=self.method,
+            cache=self.cache,
+            statistics=self.statistics,
+            measure_baseline=self.config.measure_baseline,
+        )
+        #: Cache population observed just before each query (hit-% denominators).
+        self._population_trace: list[int] = []
+
+    # ------------------------------------------------------------------ #
+    # query execution
+    # ------------------------------------------------------------------ #
+    def run_query(
+        self, query: Query | Graph, query_type: QueryType | str = QueryType.SUBGRAPH
+    ) -> QueryReport:
+        """Process one query (a :class:`Query` or a bare pattern graph)."""
+        self._population_trace.append(len(self.cache) if self.cache is not None else 0)
+        return self.executor.execute(query, query_type)
+
+    def run_queries(
+        self,
+        queries: Iterable[Query | Graph],
+        query_type: QueryType | str = QueryType.SUBGRAPH,
+    ) -> list[QueryReport]:
+        """Process many queries in order and return their reports."""
+        return [self.run_query(query, query_type) for query in queries]
+
+    def warm_cache(
+        self,
+        queries: Iterable[Query | Graph],
+        query_type: QueryType | str = QueryType.SUBGRAPH,
+        reset_statistics: bool = True,
+    ) -> None:
+        """Execute queries purely to populate the cache, then flush the window.
+
+        The demo's scenarios start from "a graph cache with 50 executed
+        queries"; this reproduces that warm state.  Statistics collected
+        during warm-up are discarded by default.
+        """
+        for query in queries:
+            self.run_query(query, query_type)
+        if self.cache is not None:
+            self.cache.flush_window()
+        if reset_statistics:
+            self.statistics.reset()
+            self._population_trace.clear()
+
+    # ------------------------------------------------------------------ #
+    # reporting
+    # ------------------------------------------------------------------ #
+    def aggregate(self) -> AggregateStatistics:
+        """Aggregate statistics over every query processed so far."""
+        return self.statistics.aggregate()
+
+    def records(self) -> list[QueryRecord]:
+        """Per-query statistic records."""
+        return self.statistics.records()
+
+    def hit_percentages(self) -> list[float]:
+        """Per-query hit percentage (hits / cached graphs), as in Fig. 2(b)."""
+        return self.statistics.per_query_hit_percentages(self._population_trace)
+
+    def cache_memory_bytes(self) -> int:
+        """Approximate memory used by the cache (0 when disabled)."""
+        return self.cache.memory_bytes() if self.cache is not None else 0
+
+    def index_memory_bytes(self) -> int:
+        """Approximate memory used by Method M's filter index."""
+        return self.method.index_memory_bytes()
+
+    def memory_overhead_ratio(self) -> float:
+        """Cache memory as a fraction of Method M's index memory."""
+        index_bytes = self.index_memory_bytes()
+        if index_bytes <= 0:
+            return float("inf") if self.cache_memory_bytes() > 0 else 0.0
+        return self.cache_memory_bytes() / index_bytes
+
+    def describe(self) -> dict[str, object]:
+        """Full description of the deployed system (for reports)."""
+        description: dict[str, object] = {
+            "config": self.config.to_dict(),
+            "method": self.method.describe(),
+            "dataset_size": len(self.dataset),
+        }
+        if self.cache is not None:
+            description["cache"] = self.cache.describe()
+        return description

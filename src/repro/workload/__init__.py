@@ -1,0 +1,29 @@
+"""Workload model, generators and runners."""
+
+from repro.workload.generator import (
+    STANDARD_MIXES,
+    WorkloadGenerator,
+    WorkloadMix,
+    generate_standard_workloads,
+)
+from repro.workload.runner import (
+    WorkloadRunResult,
+    compare_methods,
+    compare_policies,
+    run_with_policy,
+    run_workload,
+)
+from repro.workload.workload import Workload
+
+__all__ = [
+    "Workload",
+    "WorkloadMix",
+    "WorkloadGenerator",
+    "STANDARD_MIXES",
+    "generate_standard_workloads",
+    "WorkloadRunResult",
+    "run_workload",
+    "run_with_policy",
+    "compare_policies",
+    "compare_methods",
+]

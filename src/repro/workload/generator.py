@@ -1,0 +1,212 @@
+"""Workload generators.
+
+Queries are generated "from graphs in dataset following established
+principles": base patterns are connected subgraphs extracted from dataset
+graphs; a workload then draws from a *pattern pool* with a popularity
+distribution, and derives related queries that exhibit the sub/super
+relationships GC exploits:
+
+* **repeat** — re-issue a pool pattern verbatim (exact-match hits);
+* **shrink** — take a connected subgraph of a pool pattern (sub-case hits:
+  the new query is a subgraph of a previously seen one);
+* **extend** — grow a pool pattern with extra vertices (super-case hits);
+* **fresh**  — extract a brand new pattern from the dataset (no relationship).
+
+The mix of these four, the popularity skew (Zipf) and an optional popularity
+*drift* halfway through the workload are the workload characteristics the
+paper's experiment I varies across ("different cache replacement policies
+take the lead depending on the workload and dataset characteristics").
+"""
+
+from __future__ import annotations
+
+import random as _random
+from dataclasses import dataclass, field
+
+from repro.errors import WorkloadError
+from repro.graph.graph import Graph
+from repro.graph.operations import extend_graph, random_connected_subgraph, shrink_graph
+from repro.query_model import Query, QueryType
+from repro.workload.workload import Workload
+
+
+@dataclass
+class WorkloadMix:
+    """Declarative description of a workload's characteristics."""
+
+    #: Fractions of the four derivation modes (normalised if they don't sum to 1).
+    repeat_fraction: float = 0.25
+    shrink_fraction: float = 0.25
+    extend_fraction: float = 0.25
+    fresh_fraction: float = 0.25
+    #: Zipf exponent over the pattern pool; 0 means uniform selection.
+    zipf_alpha: float = 0.0
+    #: Number of base patterns in the pool.
+    pool_size: int = 20
+    #: Pattern sizes (vertices) for pool patterns and fresh queries.
+    min_pattern_vertices: int = 6
+    max_pattern_vertices: int = 14
+    #: How many vertices shrink/extend remove/add (at least 1).
+    resize_vertices: int = 3
+    #: Query semantics of the workload.
+    query_type: QueryType = QueryType.SUBGRAPH
+    #: When True, the popular end of the pool flips halfway through the
+    #: workload (popularity drift — stresses adaptive policies).
+    drift: bool = False
+    #: Free-form extra metadata copied into the workload.
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.query_type = QueryType.parse(self.query_type)
+
+    def normalised_fractions(self) -> tuple[float, float, float, float]:
+        """The four mode fractions, normalised to sum to 1."""
+        parts = (
+            max(0.0, self.repeat_fraction),
+            max(0.0, self.shrink_fraction),
+            max(0.0, self.extend_fraction),
+            max(0.0, self.fresh_fraction),
+        )
+        total = sum(parts)
+        if total <= 0:
+            raise WorkloadError("at least one workload fraction must be positive")
+        return tuple(part / total for part in parts)  # type: ignore[return-value]
+
+
+#: Ready-made mixes used by the benchmarks (E1) and the examples.
+STANDARD_MIXES: dict[str, WorkloadMix] = {
+    "uniform": WorkloadMix(zipf_alpha=0.0),
+    "popular": WorkloadMix(zipf_alpha=1.2, repeat_fraction=0.4, fresh_fraction=0.1,
+                           shrink_fraction=0.25, extend_fraction=0.25),
+    "sub-heavy": WorkloadMix(shrink_fraction=0.6, repeat_fraction=0.1,
+                             extend_fraction=0.1, fresh_fraction=0.2),
+    "super-heavy": WorkloadMix(extend_fraction=0.6, repeat_fraction=0.1,
+                               shrink_fraction=0.1, fresh_fraction=0.2),
+    "drift": WorkloadMix(zipf_alpha=1.2, drift=True, repeat_fraction=0.35,
+                         shrink_fraction=0.25, extend_fraction=0.25, fresh_fraction=0.15),
+    "fresh": WorkloadMix(fresh_fraction=0.9, repeat_fraction=0.1,
+                         shrink_fraction=0.0, extend_fraction=0.0),
+}
+
+
+class WorkloadGenerator:
+    """Generates workloads from a dataset according to a :class:`WorkloadMix`."""
+
+    def __init__(self, dataset: list[Graph], rng: _random.Random | int | None = None) -> None:
+        if not dataset:
+            raise WorkloadError("a non-empty dataset is required to generate workloads")
+        self.dataset = list(dataset)
+        self.rng = rng if isinstance(rng, _random.Random) else _random.Random(rng)
+        self._label_pool = sorted({label for graph in self.dataset for label in graph.label_set()})
+
+    # ------------------------------------------------------------------ #
+    # pattern pool
+    # ------------------------------------------------------------------ #
+    def build_pattern_pool(self, mix: WorkloadMix) -> list[Graph]:
+        """Extract ``mix.pool_size`` base patterns from the dataset."""
+        pool: list[Graph] = []
+        for _ in range(mix.pool_size):
+            pool.append(self._fresh_pattern(mix))
+        return pool
+
+    def _fresh_pattern(self, mix: WorkloadMix) -> Graph:
+        source = self.dataset[self.rng.randrange(len(self.dataset))]
+        size = self.rng.randint(
+            min(mix.min_pattern_vertices, source.num_vertices),
+            min(mix.max_pattern_vertices, source.num_vertices),
+        )
+        return random_connected_subgraph(source, size, rng=self.rng)
+
+    def _pick_from_pool(self, pool_size: int, mix: WorkloadMix, flipped: bool) -> int:
+        if mix.zipf_alpha <= 0:
+            return self.rng.randrange(pool_size)
+        weights = [1.0 / (rank + 1) ** mix.zipf_alpha for rank in range(pool_size)]
+        index = self.rng.choices(range(pool_size), weights=weights, k=1)[0]
+        if flipped:
+            index = pool_size - 1 - index
+        return index
+
+    # ------------------------------------------------------------------ #
+    # generation
+    # ------------------------------------------------------------------ #
+    def generate(
+        self,
+        num_queries: int,
+        mix: WorkloadMix | str | None = None,
+        name: str | None = None,
+        pattern_pool: list[Graph] | None = None,
+    ) -> Workload:
+        """Generate a workload of ``num_queries`` queries."""
+        if num_queries < 0:
+            raise WorkloadError("num_queries must be non-negative")
+        if isinstance(mix, str):
+            try:
+                mix = STANDARD_MIXES[mix]
+            except KeyError:
+                raise WorkloadError(
+                    f"unknown standard mix {mix!r}; available: {', '.join(sorted(STANDARD_MIXES))}"
+                ) from None
+        mix = mix or WorkloadMix()
+        pool = list(pattern_pool) if pattern_pool is not None else self.build_pattern_pool(mix)
+        fractions = mix.normalised_fractions()
+        modes = ("repeat", "shrink", "extend", "fresh")
+
+        queries: list[Query] = []
+        for position in range(num_queries):
+            flipped = mix.drift and position >= num_queries // 2
+            mode = self.rng.choices(modes, weights=fractions, k=1)[0]
+            base_index = self._pick_from_pool(len(pool), mix, flipped)
+            base = pool[base_index]
+            graph = self._derive(base, mode, mix)
+            queries.append(
+                Query(
+                    graph=graph,
+                    query_type=mix.query_type,
+                    metadata={"mode": mode, "pool_index": base_index},
+                )
+            )
+        workload_name = name or f"workload-{len(queries)}q"
+        metadata = {
+            "mix": {
+                "repeat": fractions[0],
+                "shrink": fractions[1],
+                "extend": fractions[2],
+                "fresh": fractions[3],
+                "zipf_alpha": mix.zipf_alpha,
+                "drift": mix.drift,
+            },
+            "pool_size": len(pool),
+            "query_type": mix.query_type.value,
+            **mix.metadata,
+        }
+        return Workload(name=workload_name, queries=queries, metadata=metadata)
+
+    def _derive(self, base: Graph, mode: str, mix: WorkloadMix) -> Graph:
+        if mode == "repeat":
+            return base.copy()
+        if mode == "shrink":
+            target = max(2, base.num_vertices - max(1, mix.resize_vertices))
+            if target >= base.num_vertices:
+                return base.copy()
+            return shrink_graph(base, target, rng=self.rng)
+        if mode == "extend":
+            return extend_graph(
+                base, max(1, mix.resize_vertices), labels=self._label_pool, rng=self.rng
+            )
+        # fresh
+        return self._fresh_pattern(mix)
+
+
+def generate_standard_workloads(
+    dataset: list[Graph],
+    num_queries: int,
+    rng: _random.Random | int | None = None,
+    names: list[str] | None = None,
+) -> dict[str, Workload]:
+    """Generate one workload per standard mix (used by experiment E1)."""
+    generator = WorkloadGenerator(dataset, rng=rng)
+    selected = names or list(STANDARD_MIXES)
+    workloads: dict[str, Workload] = {}
+    for name in selected:
+        workloads[name] = generator.generate(num_queries, mix=name, name=name)
+    return workloads

@@ -1,0 +1,138 @@
+"""Workload runner: execute a workload over GC and over baselines, compare.
+
+This is the programmatic counterpart of the demo's "Workload Run" scenario
+and the engine behind the benchmark harnesses: it runs a workload against a
+:class:`~repro.runtime.system.GraphCacheSystem`, collects per-query reports,
+and offers convenience functions that compare replacement policies
+(experiment E1) or Methods M (experiment E7) on identical workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cache.statistics import AggregateStatistics
+from repro.graph.graph import Graph
+from repro.methods.registry import make_method
+from repro.isomorphism import make_matcher
+from repro.runtime.config import GCConfig
+from repro.runtime.report import QueryReport
+from repro.runtime.system import GraphCacheSystem
+from repro.workload.workload import Workload
+
+
+@dataclass
+class WorkloadRunResult:
+    """Outcome of running one workload on one system configuration."""
+
+    workload_name: str
+    policy: str
+    method: str
+    reports: list[QueryReport] = field(default_factory=list)
+    aggregate: AggregateStatistics = field(default_factory=AggregateStatistics)
+    hit_percentages: list[float] = field(default_factory=list)
+    evicted_entry_ids: list[int] = field(default_factory=list)
+    cache_memory_bytes: int = 0
+    index_memory_bytes: int = 0
+
+    @property
+    def test_speedup(self) -> float:
+        """Workload-level speedup in number of dataset sub-iso tests."""
+        return self.aggregate.test_speedup
+
+    @property
+    def time_speedup(self) -> float:
+        """Workload-level speedup in query time."""
+        return self.aggregate.time_speedup
+
+    def summary(self) -> dict[str, object]:
+        """One-row summary used by comparison tables."""
+        return {
+            "workload": self.workload_name,
+            "policy": self.policy,
+            "method": self.method,
+            "queries": self.aggregate.num_queries,
+            "hit_ratio": round(self.aggregate.hit_ratio, 3),
+            "test_speedup": round(self.test_speedup, 3),
+            "time_speedup": round(self.time_speedup, 3),
+            "dataset_tests": self.aggregate.total_dataset_tests,
+            "baseline_tests": self.aggregate.total_baseline_tests,
+            "probe_tests": self.aggregate.total_probe_tests,
+        }
+
+
+def run_workload(system: GraphCacheSystem, workload: Workload) -> WorkloadRunResult:
+    """Run every query of ``workload`` through ``system`` and summarise."""
+    reports = [system.run_query(query) for query in workload]
+    evicted: list[int] = []
+    if system.cache is not None:
+        for report in system.cache.eviction_reports():
+            evicted.extend(report.evicted)
+    return WorkloadRunResult(
+        workload_name=workload.name,
+        policy=system.config.replacement_policy if system.cache is not None else "none",
+        method=system.method.name,
+        reports=reports,
+        aggregate=system.aggregate(),
+        hit_percentages=system.hit_percentages(),
+        evicted_entry_ids=evicted,
+        cache_memory_bytes=system.cache_memory_bytes(),
+        index_memory_bytes=system.index_memory_bytes(),
+    )
+
+
+def run_with_policy(
+    dataset: list[Graph],
+    workload: Workload,
+    policy: str,
+    config: GCConfig | None = None,
+    warmup: Workload | None = None,
+) -> WorkloadRunResult:
+    """Build a fresh system with ``policy`` and run the workload on it."""
+    base = config.to_dict() if config is not None else GCConfig().to_dict()
+    base["replacement_policy"] = policy
+    system = GraphCacheSystem(dataset, GCConfig.from_dict(base))
+    if warmup is not None:
+        system.warm_cache(list(warmup))
+    return run_workload(system, workload)
+
+
+def compare_policies(
+    dataset: list[Graph],
+    workload: Workload,
+    policies: list[str],
+    config: GCConfig | None = None,
+    warmup: Workload | None = None,
+) -> dict[str, WorkloadRunResult]:
+    """Run the same workload under each policy on identical fresh systems."""
+    return {
+        policy: run_with_policy(dataset, workload, policy, config=config, warmup=warmup)
+        for policy in policies
+    }
+
+
+def compare_methods(
+    dataset: list[Graph],
+    workload: Workload,
+    methods: list[str],
+    config: GCConfig | None = None,
+    method_options: dict[str, dict] | None = None,
+) -> dict[str, dict[str, WorkloadRunResult]]:
+    """For each Method M, run the workload with and without GC (experiment E7)."""
+    results: dict[str, dict[str, WorkloadRunResult]] = {}
+    method_options = method_options or {}
+    base_config = config or GCConfig()
+    for method_name in methods:
+        per_method: dict[str, WorkloadRunResult] = {}
+        for cache_enabled, label in ((False, "baseline"), (True, "gc")):
+            payload = base_config.to_dict()
+            payload["cache_enabled"] = cache_enabled
+            payload["method"] = method_name
+            payload["method_options"] = method_options.get(method_name, {})
+            cfg = GCConfig.from_dict(payload)
+            verifier = make_matcher(cfg.verifier)
+            method = make_method(method_name, verifier=verifier, **cfg.method_options)
+            system = GraphCacheSystem(dataset, cfg, method=method)
+            per_method[label] = run_workload(system, workload)
+        results[method_name] = per_method
+    return results

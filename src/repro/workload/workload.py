@@ -1,0 +1,97 @@
+"""Workload model: an ordered sequence of queries plus its provenance.
+
+The demo lets end-users pick or create workloads ("queries are uniformly
+selected from a pattern pool"); this module provides the corresponding
+first-class object, including JSON round-tripping so workloads can be saved,
+shared and replayed exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import WorkloadError
+from repro.graph.graph import Graph
+from repro.query_model import Query, QueryType
+
+
+@dataclass
+class Workload:
+    """An ordered list of queries with a name and generation metadata."""
+
+    name: str
+    queries: list[Query] = field(default_factory=list)
+    metadata: dict = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def __iter__(self):
+        return iter(self.queries)
+
+    def __getitem__(self, index: int) -> Query:
+        return self.queries[index]
+
+    @property
+    def query_types(self) -> set[QueryType]:
+        """The set of query semantics appearing in the workload."""
+        return {query.query_type for query in self.queries}
+
+    def summary(self) -> dict[str, object]:
+        """Size and shape summary of the workload."""
+        if not self.queries:
+            return {"name": self.name, "num_queries": 0}
+        sizes = [query.num_vertices for query in self.queries]
+        return {
+            "name": self.name,
+            "num_queries": len(self.queries),
+            "min_vertices": min(sizes),
+            "max_vertices": max(sizes),
+            "avg_vertices": sum(sizes) / len(sizes),
+            "query_types": sorted(t.value for t in self.query_types),
+            "metadata": dict(self.metadata),
+        }
+
+    # ------------------------------------------------------------------ #
+    # serialisation
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        """Serialise the workload (queries keep their pattern graphs)."""
+        return {
+            "name": self.name,
+            "metadata": self.metadata,
+            "queries": [
+                {
+                    "query_type": query.query_type.value,
+                    "graph": query.graph.to_dict(),
+                    "metadata": query.metadata,
+                }
+                for query in self.queries
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Workload":
+        """Rebuild a workload serialised by :meth:`to_dict`."""
+        if "queries" not in payload:
+            raise WorkloadError("workload payload has no 'queries' field")
+        queries = [
+            Query(
+                graph=Graph.from_dict(item["graph"]),
+                query_type=QueryType.parse(item.get("query_type", "subgraph")),
+                metadata=item.get("metadata", {}),
+            )
+            for item in payload["queries"]
+        ]
+        return cls(name=payload.get("name", "workload"), queries=queries, metadata=payload.get("metadata", {}))
+
+    def save(self, path: str | Path) -> None:
+        """Write the workload to a JSON file."""
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2), encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Workload":
+        """Load a workload from a JSON file."""
+        return cls.from_dict(json.loads(Path(path).read_text(encoding="utf-8")))

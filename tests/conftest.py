@@ -1,0 +1,80 @@
+"""Shared fixtures for the GC reproduction test-suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graph import Graph, molecule_dataset, path_graph
+from repro.graph.operations import random_connected_subgraph
+from repro.query_model import Query, QueryType
+
+
+@pytest.fixture(scope="session")
+def small_dataset() -> list[Graph]:
+    """A small molecule-like dataset shared (read-only) across tests."""
+    return molecule_dataset(25, min_vertices=8, max_vertices=18, rng=42)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset() -> list[Graph]:
+    """An even smaller dataset for the expensive integration tests."""
+    return molecule_dataset(12, min_vertices=6, max_vertices=12, rng=11)
+
+
+@pytest.fixture()
+def rng() -> random.Random:
+    """A deterministic RNG, fresh per test."""
+    return random.Random(1234)
+
+
+@pytest.fixture()
+def triangle() -> Graph:
+    """A labelled triangle C-C-O."""
+    graph = Graph(graph_id="triangle")
+    graph.add_vertex(0, "C")
+    graph.add_vertex(1, "C")
+    graph.add_vertex(2, "O")
+    graph.add_edge(0, 1)
+    graph.add_edge(1, 2)
+    graph.add_edge(2, 0)
+    return graph
+
+
+@pytest.fixture()
+def square_with_tail() -> Graph:
+    """A 4-cycle C-C-N-O with a C tail attached to vertex 0."""
+    graph = Graph(graph_id="square")
+    for vertex, label in enumerate(["C", "C", "N", "O", "C"]):
+        graph.add_vertex(vertex, label)
+    graph.add_edge(0, 1)
+    graph.add_edge(1, 2)
+    graph.add_edge(2, 3)
+    graph.add_edge(3, 0)
+    graph.add_edge(0, 4)
+    return graph
+
+
+@pytest.fixture()
+def co_path() -> Graph:
+    """A two-vertex C-O path (the smallest interesting query)."""
+    return path_graph(["C", "O"])
+
+
+def make_subgraph_queries(
+    dataset: list[Graph], count: int, size: int, seed: int = 5
+) -> list[Query]:
+    """Helper used by several test modules: extract query patterns."""
+    rng = random.Random(seed)
+    queries = []
+    for _ in range(count):
+        source = dataset[rng.randrange(len(dataset))]
+        k = min(size, source.num_vertices)
+        queries.append(
+            Query(
+                graph=random_connected_subgraph(source, k, rng=rng),
+                query_type=QueryType.SUBGRAPH,
+            )
+        )
+    return queries

@@ -1,0 +1,145 @@
+"""Tests for the semantic-vs-exact-only cache modes, memory budget and
+parallel verification added on top of the base kernel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache import GraphCache
+from repro.errors import CacheCapacityError, ConfigurationError
+from repro.graph import molecule_dataset
+from repro.graph.operations import random_connected_subgraph
+from repro.methods import DirectSIMethod
+from repro.runtime import GCConfig, GraphCacheSystem
+from repro.query_model import Query, QueryType
+from tests.conftest import make_subgraph_queries
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return molecule_dataset(18, min_vertices=10, max_vertices=16, rng=441)
+
+
+class TestExactOnlyMode:
+    def test_exact_only_cache_still_hits_repeats(self, dataset):
+        config = GCConfig(cache_capacity=10, window_size=1, method="direct-si",
+                          enable_sub_case=False, enable_super_case=False)
+        system = GraphCacheSystem(dataset, config)
+        pattern = random_connected_subgraph(dataset[0], 6, rng=1)
+        first = system.run_query(pattern.copy(), "subgraph")
+        second = system.run_query(pattern.copy(), "subgraph")
+        assert second.exact_hit_entry is not None
+        assert second.dataset_tests == 0
+        assert second.answer == first.answer
+
+    def test_exact_only_cache_misses_sub_and_super(self, dataset):
+        config = GCConfig(cache_capacity=10, window_size=1, method="direct-si",
+                          enable_sub_case=False, enable_super_case=False)
+        system = GraphCacheSystem(dataset, config)
+        pattern = random_connected_subgraph(dataset[0], 8, rng=2)
+        system.run_query(pattern.copy(), "subgraph")
+        shrunk = random_connected_subgraph(pattern, 5, rng=3)
+        report = system.run_query(shrunk, "subgraph")
+        assert report.sub_hit_entries == []
+        assert report.super_hit_entries == []
+        assert report.probe_tests == 0
+
+    def test_semantic_cache_beats_exact_only_on_related_queries(self, dataset):
+        queries = []
+        pattern = random_connected_subgraph(dataset[0], 9, rng=4)
+        queries.append(Query(graph=pattern.copy(), query_type=QueryType.SUBGRAPH))
+        for seed in range(4):
+            queries.append(Query(
+                graph=random_connected_subgraph(pattern, 6, rng=10 + seed),
+                query_type=QueryType.SUBGRAPH,
+            ))
+
+        def total_tests(enable_semantic: bool) -> int:
+            config = GCConfig(cache_capacity=10, window_size=1, method="direct-si",
+                              enable_sub_case=enable_semantic,
+                              enable_super_case=enable_semantic)
+            system = GraphCacheSystem(dataset, config)
+            for query in queries:
+                system.run_query(Query(graph=query.graph.copy(), query_type=query.query_type))
+            return system.aggregate().total_dataset_tests
+
+        assert total_tests(True) < total_tests(False)
+
+    def test_exact_only_answers_still_correct(self, dataset):
+        config = GCConfig(cache_capacity=8, window_size=1, method="direct-si",
+                          enable_sub_case=False, enable_super_case=False)
+        system = GraphCacheSystem(dataset, config)
+        baseline = DirectSIMethod()
+        baseline.build(dataset)
+        for query in make_subgraph_queries(dataset, 8, 6, seed=5):
+            report = system.run_query(query)
+            assert report.answer == baseline.execute(query.graph, query.query_type).answer
+
+
+class TestMemoryBudget:
+    def test_budget_limits_resident_bytes(self, dataset):
+        budget = 20_000
+        cache = GraphCache(capacity=100, window_size=1, policy="LRU",
+                           memory_budget_bytes=budget)
+        for seed in range(30):
+            cache.tick()
+            cache.offer(
+                Query(graph=random_connected_subgraph(dataset[seed % len(dataset)], 8, rng=seed),
+                      query_type=QueryType.SUBGRAPH),
+                answer=set(range(5)),
+                tests_performed=10,
+                observed_test_cost=0.001,
+            )
+        assert cache.store.memory_bytes() <= budget
+        assert len(cache) >= 1
+
+    def test_invalid_budget_rejected(self):
+        with pytest.raises(CacheCapacityError):
+            GraphCache(capacity=5, memory_budget_bytes=0)
+        with pytest.raises(ConfigurationError):
+            GCConfig(cache_memory_budget_bytes=-5).validate()
+
+    def test_system_level_budget(self, dataset):
+        config = GCConfig(cache_capacity=50, window_size=1, method="direct-si",
+                          cache_memory_budget_bytes=15_000)
+        system = GraphCacheSystem(dataset, config)
+        for query in make_subgraph_queries(dataset, 12, 7, seed=6):
+            system.run_query(query)
+        assert system.cache.store.memory_bytes() <= 15_000
+
+
+class TestParallelVerification:
+    def test_invalid_thread_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GCConfig(verify_threads=0).validate()
+
+    def test_parallel_answers_match_sequential(self, dataset):
+        sequential = DirectSIMethod()
+        sequential.build(dataset)
+        parallel = DirectSIMethod()
+        parallel.verify_threads = 4
+        parallel.build(dataset)
+        for query in make_subgraph_queries(dataset, 5, 6, seed=7):
+            expected = sequential.execute(query.graph, "subgraph")
+            actual = parallel.execute(query.graph, "subgraph")
+            assert actual.answer == expected.answer
+            assert actual.num_subiso_tests == expected.num_subiso_tests
+
+    def test_system_with_threads_is_correct(self, dataset):
+        config = GCConfig(cache_capacity=10, window_size=2, method="direct-si",
+                          verify_threads=4)
+        system = GraphCacheSystem(dataset, config)
+        baseline = DirectSIMethod()
+        baseline.build(dataset)
+        for query in make_subgraph_queries(dataset, 8, 6, seed=8):
+            report = system.run_query(query)
+            assert report.answer == baseline.execute(query.graph, query.query_type).answer
+        assert system.method.verify_threads == 4
+
+    def test_verifier_tally_thread_safe_total(self, dataset):
+        method = DirectSIMethod()
+        method.verify_threads = 8
+        method.build(dataset)
+        query = make_subgraph_queries(dataset, 1, 6, seed=9)[0]
+        method.execute(query.graph, "subgraph")
+        assert method.verifier.tally.tests == len(dataset)

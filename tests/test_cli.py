@@ -1,0 +1,88 @@
+"""Tests for the graphcache command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graph import load_dataset, load_sdf_file
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert "graphcache" in capsys.readouterr().out
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run-workload", "--policy", "BOGUS"])
+
+
+class TestGenerateDataset:
+    def test_transaction_output(self, tmp_path, capsys):
+        output = tmp_path / "data.txt"
+        assert main(["generate-dataset", str(output), "--count", "5", "--seed", "1"]) == 0
+        assert "wrote 5" in capsys.readouterr().out
+        assert len(load_dataset(output)) == 5
+
+    def test_json_output(self, tmp_path):
+        output = tmp_path / "data.json"
+        assert main(["generate-dataset", str(output), "--count", "4"]) == 0
+        assert len(load_dataset(output)) == 4
+
+    def test_sdf_output(self, tmp_path):
+        output = tmp_path / "data.sdf"
+        assert main(["generate-dataset", str(output), "--count", "3", "--kind", "molecule"]) == 0
+        assert len(load_sdf_file(output)) == 3
+
+
+class TestRunCommands:
+    def test_run_workload_synthetic(self, capsys):
+        code = main([
+            "run-workload", "--dataset-size", "20", "--queries", "8",
+            "--cache-capacity", "10", "--window-size", "2", "--seed", "3",
+            "--feature-size", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "The Workload Run" in out
+        assert "Developer Monitor" in out
+
+    def test_run_workload_from_file(self, tmp_path, capsys):
+        dataset_path = tmp_path / "data.json"
+        main(["generate-dataset", str(dataset_path), "--count", "15", "--seed", "4"])
+        capsys.readouterr()
+        code = main([
+            "run-workload", "--dataset", str(dataset_path), "--queries", "6",
+            "--cache-capacity", "8", "--window-size", "2", "--seed", "5",
+        ])
+        assert code == 0
+        assert "The Workload Run" in capsys.readouterr().out
+
+    def test_compare_policies(self, capsys):
+        code = main([
+            "compare-policies", "--dataset-size", "15", "--queries", "8",
+            "--cache-capacity", "8", "--window-size", "2", "--seed", "6",
+            "--policies", "LRU", "HD", "--feature-size", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "LRU" in out and "HD" in out
+        assert "test_speedup" in out
+
+    def test_journey(self, capsys):
+        code = main([
+            "journey", "--dataset-size", "20", "--warm-queries", "10",
+            "--cache-capacity", "10", "--window-size", "2", "--seed", "7",
+            "--query-vertices", "6", "--feature-size", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "The Query Journey" in out
+        assert "Answer Set" in out

@@ -1,0 +1,179 @@
+"""Unit tests for the feature extractors (paths, stars, cycles, fingerprints)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import IndexError_
+from repro.features import (
+    CompositeExtractor,
+    CycleFeatureExtractor,
+    EdgeFeatureExtractor,
+    FeatureExtractor,
+    Fingerprint,
+    PathFeatureExtractor,
+    StarFeatureExtractor,
+    canonical_cycle_key,
+    canonical_path_key,
+)
+from repro.graph import cycle_graph, path_graph, star_graph
+
+
+class TestCanonicalKeys:
+    def test_path_key_direction_independent(self):
+        assert canonical_path_key(["C", "O", "N"]) == canonical_path_key(["N", "O", "C"])
+
+    def test_path_key_prefers_smaller(self):
+        assert canonical_path_key(["O", "C"]) == ("C", "O")
+
+    def test_cycle_key_rotation_invariant(self):
+        assert canonical_cycle_key(["C", "O", "N"]) == canonical_cycle_key(["O", "N", "C"])
+
+    def test_cycle_key_reflection_invariant(self):
+        assert canonical_cycle_key(["C", "O", "N"]) == canonical_cycle_key(["N", "O", "C"])
+
+
+class TestPathFeatures:
+    def test_single_vertices_counted(self):
+        graph = path_graph(["C", "O"])
+        features = PathFeatureExtractor(max_length=1).extract(graph)
+        assert features[("C",)] == 1
+        assert features[("O",)] == 1
+
+    def test_edge_feature_counted_once(self):
+        graph = path_graph(["C", "O"])
+        features = PathFeatureExtractor(max_length=1).extract(graph)
+        assert features[("C", "O")] == 1
+
+    def test_path_of_length_two(self):
+        graph = path_graph(["C", "O", "N"])
+        features = PathFeatureExtractor(max_length=2).extract(graph)
+        assert features[("C", "O", "N")] == 1
+
+    def test_max_length_zero_only_vertices(self):
+        graph = path_graph(["C", "O", "N"])
+        features = PathFeatureExtractor(max_length=0).extract(graph)
+        assert all(len(key) == 1 for key in features)
+
+    def test_triangle_path_counts(self):
+        graph = cycle_graph(["C", "C", "C"])
+        features = PathFeatureExtractor(max_length=2).extract(graph)
+        assert features[("C", "C")] == 3           # three edges
+        assert features[("C", "C", "C")] == 3      # three length-2 simple paths
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(IndexError_):
+            PathFeatureExtractor(max_length=-1)
+
+    def test_describe(self):
+        assert PathFeatureExtractor(max_length=4).describe()["max_length"] == 4
+
+    def test_edge_extractor_matches_path_length_one(self):
+        graph = cycle_graph(["C", "O", "N", "C"])
+        assert EdgeFeatureExtractor().extract(graph) == PathFeatureExtractor(1).extract(graph)
+
+
+class TestStarFeatures:
+    def test_counts_center_and_leaves(self):
+        graph = star_graph("N", ["C", "C", "O"])
+        features = StarFeatureExtractor(max_leaves=2).extract(graph)
+        assert features[("S", "N", ())] == 1
+        assert features[("S", "N", ("C",))] == 2          # two C leaves
+        assert features[("S", "N", ("C", "C"))] == 1
+        assert features[("S", "N", ("C", "O"))] == 2
+
+    def test_max_leaves_respected(self):
+        graph = star_graph("N", ["C", "C", "O"])
+        features = StarFeatureExtractor(max_leaves=1).extract(graph)
+        assert all(len(key[2]) <= 1 for key in features)
+
+    def test_invalid_max_leaves(self):
+        with pytest.raises(IndexError_):
+            StarFeatureExtractor(max_leaves=0)
+
+
+class TestCycleFeatures:
+    def test_triangle_found_once(self):
+        graph = cycle_graph(["C", "C", "C"])
+        features = CycleFeatureExtractor(max_length=5).extract(graph)
+        assert features[("C", canonical_cycle_key(["C", "C", "C"]))] == 1
+
+    def test_square_found_once(self):
+        graph = cycle_graph(["C", "O", "C", "O"])
+        features = CycleFeatureExtractor(max_length=6).extract(graph)
+        assert sum(features.values()) == 1
+
+    def test_path_has_no_cycles(self):
+        graph = path_graph(["C", "O", "N", "C"])
+        assert not CycleFeatureExtractor().extract(graph)
+
+    def test_max_length_cuts_long_cycles(self):
+        graph = cycle_graph(["C"] * 8)
+        assert not CycleFeatureExtractor(max_length=6).extract(graph)
+        assert CycleFeatureExtractor(max_length=8).extract(graph)
+
+    def test_invalid_max_length(self):
+        with pytest.raises(IndexError_):
+            CycleFeatureExtractor(max_length=2)
+
+
+class TestCompositeExtractor:
+    def test_namespaced_union(self):
+        graph = cycle_graph(["C", "C", "C"])
+        composite = CompositeExtractor(
+            [PathFeatureExtractor(max_length=1), CycleFeatureExtractor(max_length=5)]
+        )
+        features = composite.extract(graph)
+        assert any(key[0] == "paths" for key in features)
+        assert any(key[0] == "cycles" for key in features)
+
+    def test_requires_extractors(self):
+        with pytest.raises(ValueError):
+            CompositeExtractor([])
+
+    def test_describe_nested(self):
+        composite = CompositeExtractor([PathFeatureExtractor(2)])
+        assert composite.describe()["extractors"][0]["name"] == "paths"
+
+
+class TestMultisetHelpers:
+    def test_containment(self):
+        big = PathFeatureExtractor(2).extract(cycle_graph(["C", "C", "C", "C"]))
+        small = PathFeatureExtractor(2).extract(path_graph(["C", "C"]))
+        assert FeatureExtractor.multiset_contains(big, small)
+        assert not FeatureExtractor.multiset_contains(small, big)
+
+    def test_missing_features(self):
+        big = PathFeatureExtractor(1).extract(path_graph(["C", "C"]))
+        small = PathFeatureExtractor(1).extract(path_graph(["C", "O"]))
+        missing = FeatureExtractor.missing_features(big, small)
+        assert ("O",) in missing
+
+
+class TestFingerprint:
+    def test_from_features_and_containment(self):
+        big_features = PathFeatureExtractor(2).extract(cycle_graph(["C", "C", "C", "C"]))
+        small_features = PathFeatureExtractor(2).extract(path_graph(["C", "C"]))
+        big = Fingerprint.from_features(big_features, num_bits=256)
+        small = Fingerprint.from_features(small_features, num_bits=256)
+        assert big.contains_all(small)
+
+    def test_popcount_and_size(self):
+        fingerprint = Fingerprint(num_bits=64)
+        fingerprint.add(("C",))
+        assert fingerprint.popcount() == 1
+        assert fingerprint.size_bytes() == 8
+
+    def test_equality(self):
+        first = Fingerprint.from_features([("C",)], num_bits=64)
+        second = Fingerprint.from_features([("C",)], num_bits=64)
+        assert first == second
+        assert hash(first) == hash(second)
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(IndexError_):
+            Fingerprint(64).contains_all(Fingerprint(128))
+
+    def test_invalid_width(self):
+        with pytest.raises(IndexError_):
+            Fingerprint(num_bits=0)

@@ -1,0 +1,91 @@
+"""Tests for the convenience graph constructors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import (
+    complete_graph,
+    cycle_graph,
+    graph_from_edges,
+    path_graph,
+    star_graph,
+)
+
+
+class TestPathGraph:
+    def test_sizes(self):
+        graph = path_graph(["C", "C", "O", "N"])
+        assert graph.num_vertices == 4
+        assert graph.num_edges == 3
+
+    def test_single_vertex(self):
+        graph = path_graph(["C"])
+        assert graph.num_vertices == 1
+        assert graph.num_edges == 0
+
+    def test_labels_in_order(self):
+        graph = path_graph(["C", "O"])
+        assert graph.label(0) == "C"
+        assert graph.label(1) == "O"
+
+
+class TestCycleGraph:
+    def test_sizes(self):
+        graph = cycle_graph(["C", "C", "C", "O"])
+        assert graph.num_vertices == 4
+        assert graph.num_edges == 4
+
+    def test_every_vertex_has_degree_two(self):
+        graph = cycle_graph(["C"] * 6)
+        assert all(graph.degree(v) == 2 for v in graph.vertices())
+
+    def test_too_small_cycle_raises(self):
+        with pytest.raises(GraphError):
+            cycle_graph(["C", "O"])
+
+
+class TestCompleteGraph:
+    def test_edge_count(self):
+        graph = complete_graph(["C"] * 5)
+        assert graph.num_edges == 10
+
+    def test_two_vertices(self):
+        graph = complete_graph(["C", "O"])
+        assert graph.num_edges == 1
+
+
+class TestStarGraph:
+    def test_structure(self):
+        graph = star_graph("N", ["C", "C", "O"])
+        assert graph.num_vertices == 4
+        assert graph.num_edges == 3
+        assert graph.degree(0) == 3
+        assert graph.label(0) == "N"
+
+    def test_no_leaves(self):
+        graph = star_graph("N", [])
+        assert graph.num_vertices == 1
+        assert graph.num_edges == 0
+
+
+class TestGraphFromEdges:
+    def test_basic(self):
+        graph = graph_from_edges([(0, 1), (1, 2)], labels={0: "C", 1: "O", 2: "N"})
+        assert graph.num_vertices == 3
+        assert graph.num_edges == 2
+        assert graph.label(1) == "O"
+
+    def test_unlabelled_vertices_get_empty_label(self):
+        graph = graph_from_edges([(0, 1)])
+        assert graph.label(0) == ""
+
+    def test_isolated_vertices_from_labels(self):
+        graph = graph_from_edges([(0, 1)], labels={0: "C", 1: "O", 5: "S"})
+        assert graph.has_vertex(5)
+        assert graph.degree(5) == 0
+
+    def test_graph_id_propagated(self):
+        graph = graph_from_edges([(0, 1)], graph_id=99)
+        assert graph.graph_id == 99

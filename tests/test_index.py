@@ -1,0 +1,181 @@
+"""Tests for the dataset indexes (inverted, suffix trie, fingerprint)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import IndexError_
+from repro.features import PathFeatureExtractor
+from repro.graph import molecule_dataset
+from repro.graph.operations import extend_graph, random_connected_subgraph
+from repro.index import FingerprintIndex, InvertedFeatureIndex, SuffixTrieIndex
+from repro.isomorphism import VF2Matcher
+from repro.query_model import QueryType
+
+
+def make_index(kind: str):
+    if kind == "inverted":
+        return InvertedFeatureIndex(PathFeatureExtractor(max_length=2))
+    if kind == "suffix":
+        return SuffixTrieIndex(max_path_length=2)
+    return FingerprintIndex(PathFeatureExtractor(max_length=2), num_bits=512)
+
+
+def true_subgraph_answer(dataset, query):
+    matcher = VF2Matcher()
+    return {g.graph_id for g in dataset if matcher.is_subgraph(query, g)}
+
+
+def true_supergraph_answer(dataset, query):
+    matcher = VF2Matcher()
+    return {g.graph_id for g in dataset if matcher.is_subgraph(g, query)}
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return molecule_dataset(20, min_vertices=8, max_vertices=16, rng=17)
+
+
+@pytest.mark.parametrize("kind", ["inverted", "suffix", "fingerprint"])
+class TestSoundness:
+    def test_subgraph_candidates_contain_answer(self, dataset, kind):
+        rng = random.Random(3)
+        index = make_index(kind)
+        index.build(dataset)
+        for _ in range(5):
+            source = dataset[rng.randrange(len(dataset))]
+            query = random_connected_subgraph(source, 6, rng=rng)
+            candidates = index.candidates(query, QueryType.SUBGRAPH)
+            answer = true_subgraph_answer(dataset, query)
+            assert answer <= candidates
+            assert source.graph_id in candidates
+
+    def test_supergraph_candidates_contain_answer(self, dataset, kind):
+        rng = random.Random(4)
+        index = make_index(kind)
+        index.build(dataset)
+        labels = sorted({label for g in dataset for label in g.label_set()})
+        for _ in range(3):
+            source = dataset[rng.randrange(len(dataset))]
+            query = extend_graph(source, 4, labels=labels, rng=rng)
+            candidates = index.candidates(query, QueryType.SUPERGRAPH)
+            answer = true_supergraph_answer(dataset, query)
+            assert answer <= candidates
+            assert source.graph_id in candidates
+
+    def test_requires_build_before_query(self, dataset, kind):
+        index = make_index(kind)
+        with pytest.raises(IndexError_):
+            index.candidates(dataset[0], QueryType.SUBGRAPH)
+
+    def test_double_build_rejected(self, dataset, kind):
+        index = make_index(kind)
+        index.build(dataset)
+        with pytest.raises(IndexError_):
+            index.build(dataset)
+
+    def test_duplicate_graph_ids_rejected(self, dataset, kind):
+        index = make_index(kind)
+        with pytest.raises(IndexError_):
+            index.build([dataset[0], dataset[0]])
+
+    def test_graph_ids_and_memory(self, dataset, kind):
+        index = make_index(kind)
+        index.build(dataset)
+        assert index.graph_ids() == [g.graph_id for g in dataset]
+        assert index.memory_bytes() > 0
+        assert index.describe()["name"] == index.name
+
+    def test_query_type_accepts_strings(self, dataset, kind):
+        index = make_index(kind)
+        index.build(dataset)
+        query = random_connected_subgraph(dataset[0], 5, rng=9)
+        assert index.candidates(query, "subgraph") == index.candidates(
+            query, QueryType.SUBGRAPH
+        )
+
+
+class TestInvertedIndexSpecifics:
+    def test_filtering_actually_prunes(self, dataset):
+        index = InvertedFeatureIndex(PathFeatureExtractor(max_length=3))
+        index.build(dataset)
+        rng = random.Random(5)
+        query = random_connected_subgraph(dataset[3], 8, rng=rng)
+        candidates = index.candidates(query, QueryType.SUBGRAPH)
+        assert len(candidates) < len(dataset)
+
+    def test_impossible_query_gives_empty_candidates(self, dataset):
+        from repro.graph import path_graph
+
+        query = path_graph(["Zz", "Zz"])
+        index = InvertedFeatureIndex(PathFeatureExtractor(max_length=2))
+        index.build(dataset)
+        assert index.candidates(query, QueryType.SUBGRAPH) == set()
+
+    def test_graph_features_lookup(self, dataset):
+        index = InvertedFeatureIndex(PathFeatureExtractor(max_length=1))
+        index.build(dataset)
+        features = index.graph_features(dataset[0].graph_id)
+        assert sum(count for key, count in features.items() if len(key) == 1) == dataset[
+            0
+        ].num_vertices
+        with pytest.raises(IndexError_):
+            index.graph_features("missing")
+
+    def test_num_features_positive(self, dataset):
+        index = InvertedFeatureIndex(PathFeatureExtractor(max_length=2))
+        index.build(dataset)
+        assert index.num_features() > 0
+
+
+class TestSuffixTrieSpecifics:
+    def test_same_candidates_as_inverted_index(self, dataset):
+        trie = SuffixTrieIndex(max_path_length=2)
+        inverted = InvertedFeatureIndex(PathFeatureExtractor(max_length=2))
+        trie.build(dataset)
+        inverted.build(dataset)
+        rng = random.Random(6)
+        for _ in range(5):
+            query = random_connected_subgraph(dataset[rng.randrange(len(dataset))], 6, rng=rng)
+            assert trie.candidates(query, QueryType.SUBGRAPH) == inverted.candidates(
+                query, QueryType.SUBGRAPH
+            )
+
+    def test_trie_shares_prefixes(self, dataset):
+        trie = SuffixTrieIndex(max_path_length=2)
+        trie.build(dataset)
+        inverted = InvertedFeatureIndex(PathFeatureExtractor(max_length=2))
+        inverted.build(dataset)
+        # a trie cannot have more nodes than 1 + total distinct features
+        assert trie.num_trie_nodes() <= 1 + 3 * inverted.num_features()
+
+    def test_invalid_path_length(self):
+        with pytest.raises(IndexError_):
+            SuffixTrieIndex(max_path_length=0)
+
+
+class TestFingerprintIndexSpecifics:
+    def test_larger_feature_space_weaker_or_equal_filtering(self, dataset):
+        # fewer bits => more collisions => never smaller candidate sets
+        small = FingerprintIndex(PathFeatureExtractor(2), num_bits=64)
+        large = FingerprintIndex(PathFeatureExtractor(2), num_bits=4096)
+        small.build(dataset)
+        large.build(dataset)
+        rng = random.Random(7)
+        query = random_connected_subgraph(dataset[1], 7, rng=rng)
+        assert large.candidates(query, QueryType.SUBGRAPH) <= small.candidates(
+            query, QueryType.SUBGRAPH
+        )
+
+    def test_memory_scales_with_bits(self, dataset):
+        small = FingerprintIndex(PathFeatureExtractor(2), num_bits=256)
+        large = FingerprintIndex(PathFeatureExtractor(2), num_bits=2048)
+        small.build(dataset)
+        large.build(dataset)
+        assert large.memory_bytes() > small.memory_bytes()
+
+    def test_invalid_bits(self):
+        with pytest.raises(IndexError_):
+            FingerprintIndex(PathFeatureExtractor(2), num_bits=0)

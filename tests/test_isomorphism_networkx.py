@@ -1,0 +1,111 @@
+"""Tests for the networkx-backed matcher and the matcher registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graph import Graph, cycle_graph, molecule_graph, path_graph
+from repro.graph.operations import random_connected_subgraph
+from repro.isomorphism import (
+    MATCHERS,
+    CountingMatcher,
+    NetworkXMatcher,
+    UllmannMatcher,
+    VF2Matcher,
+    make_matcher,
+)
+
+
+class TestNetworkXMatcher:
+    def test_positive_match(self, triangle):
+        assert NetworkXMatcher().is_subgraph(path_graph(["C", "O"]), triangle)
+
+    def test_negative_match(self, triangle):
+        assert not NetworkXMatcher().is_subgraph(path_graph(["S", "S"]), triangle)
+
+    def test_empty_query(self, triangle):
+        result = NetworkXMatcher().find_embedding(Graph(), triangle)
+        assert result.found
+
+    def test_mapping_direction_is_query_to_target(self, square_with_tail):
+        query = path_graph(["N", "O"])
+        result = NetworkXMatcher().find_embedding(query, square_with_tail)
+        assert result.found
+        for q_vertex, t_vertex in result.mapping.items():
+            assert query.label(q_vertex) == square_with_tail.label(t_vertex)
+
+    def test_enumeration(self):
+        embeddings = NetworkXMatcher().find_all_embeddings(
+            path_graph(["C", "C"]), cycle_graph(["C", "C", "C"])
+        )
+        assert len(embeddings) == 6
+
+    def test_enumeration_limit(self):
+        embeddings = NetworkXMatcher().find_all_embeddings(
+            path_graph(["C", "C"]), cycle_graph(["C", "C", "C"]), limit=2
+        )
+        assert len(embeddings) == 2
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_agreement_with_vf2(self, seed):
+        target = molecule_graph(14, rng=seed)
+        query = random_connected_subgraph(target, 6, rng=seed + 7)
+        assert NetworkXMatcher().is_subgraph(query, target)
+        other = molecule_graph(8, rng=seed + 500)
+        assert NetworkXMatcher().is_subgraph(other, target) == VF2Matcher().is_subgraph(
+            other, target
+        )
+
+
+class TestRegistry:
+    def test_all_registered(self):
+        assert set(MATCHERS) == {"vf2", "ullmann", "networkx"}
+
+    def test_make_matcher(self):
+        assert isinstance(make_matcher("vf2"), VF2Matcher)
+        assert isinstance(make_matcher("ullmann"), UllmannMatcher)
+        assert isinstance(make_matcher("networkx"), NetworkXMatcher)
+
+    def test_make_matcher_kwargs(self):
+        matcher = make_matcher("vf2", node_budget=10)
+        assert matcher.node_budget == 10
+
+    def test_unknown_matcher_raises(self):
+        with pytest.raises(ConfigurationError):
+            make_matcher("nope")
+
+
+class TestCountingMatcher:
+    def test_counts_tests(self, triangle):
+        counting = CountingMatcher(VF2Matcher())
+        counting.is_subgraph(path_graph(["C", "O"]), triangle)
+        counting.is_subgraph(path_graph(["S", "S"]), triangle)
+        assert counting.tally.tests == 2
+        assert counting.tally.positives == 1
+        assert counting.tally.negatives == 1
+        assert counting.tally.total_seconds >= 0.0
+
+    def test_average_seconds(self, triangle):
+        counting = CountingMatcher(VF2Matcher())
+        assert counting.tally.average_seconds == 0.0
+        counting.is_subgraph(path_graph(["C", "O"]), triangle)
+        assert counting.tally.average_seconds >= 0.0
+
+    def test_reset(self, triangle):
+        counting = CountingMatcher(VF2Matcher())
+        counting.is_subgraph(path_graph(["C", "O"]), triangle)
+        counting.reset()
+        assert counting.tally.tests == 0
+
+    def test_snapshot_keys(self, triangle):
+        counting = CountingMatcher(VF2Matcher())
+        counting.is_subgraph(path_graph(["C", "O"]), triangle)
+        snapshot = counting.tally.snapshot()
+        assert {"tests", "positives", "negatives", "total_seconds"} <= set(snapshot)
+
+    def test_enumeration_counted(self, triangle):
+        counting = CountingMatcher(VF2Matcher())
+        counting.find_all_embeddings(path_graph(["C", "O"]), triangle)
+        assert counting.tally.tests == 1
+        assert counting.tally.positives == 1

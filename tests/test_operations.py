@@ -1,0 +1,157 @@
+"""Tests for graph operations (subgraph extraction, extension, statistics)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import Graph, molecule_graph, path_graph
+from repro.graph.operations import (
+    average_degree,
+    dataset_statistics,
+    disjoint_union,
+    edge_induced_subgraph,
+    extend_graph,
+    graph_density,
+    random_connected_subgraph,
+    shrink_graph,
+)
+from repro.isomorphism import VF2Matcher
+
+
+class TestRandomConnectedSubgraph:
+    def test_requested_size(self):
+        source = molecule_graph(20, rng=1)
+        sub = random_connected_subgraph(source, 7, rng=2)
+        assert sub.num_vertices == 7
+
+    def test_result_is_connected_when_source_connected(self):
+        source = molecule_graph(25, rng=3)
+        sub = random_connected_subgraph(source, 10, rng=4)
+        assert sub.is_connected()
+
+    def test_result_is_subgraph_of_source(self):
+        source = molecule_graph(18, rng=5)
+        sub = random_connected_subgraph(source, 6, rng=6)
+        assert VF2Matcher().is_subgraph(sub, source)
+
+    def test_relabelled_to_dense_ids(self):
+        source = molecule_graph(15, rng=7)
+        sub = random_connected_subgraph(source, 5, rng=8)
+        assert set(sub.vertices()) == set(range(5))
+
+    def test_without_relabel_keeps_source_ids(self):
+        source = molecule_graph(15, rng=9)
+        sub = random_connected_subgraph(source, 5, rng=10, relabel=False)
+        assert set(sub.vertices()) <= set(source.vertices())
+
+    def test_too_large_request_rejected(self):
+        source = molecule_graph(5, rng=11)
+        with pytest.raises(GraphError):
+            random_connected_subgraph(source, 6)
+
+    def test_zero_request_rejected(self):
+        source = molecule_graph(5, rng=12)
+        with pytest.raises(GraphError):
+            random_connected_subgraph(source, 0)
+
+    def test_full_size_extraction(self):
+        source = molecule_graph(8, rng=13)
+        sub = random_connected_subgraph(source, 8, rng=14)
+        assert sub.num_vertices == 8
+        assert sub.num_edges == source.num_edges
+
+    def test_handles_disconnected_source(self):
+        graph = Graph()
+        for vertex, label in enumerate(["C", "C", "O", "O"]):
+            graph.add_vertex(vertex, label)
+        graph.add_edge(0, 1)
+        graph.add_edge(2, 3)
+        sub = random_connected_subgraph(graph, 4, rng=15)
+        assert sub.num_vertices == 4
+
+
+class TestShrinkAndExtend:
+    def test_shrink_produces_subgraph(self):
+        source = molecule_graph(16, rng=20)
+        smaller = shrink_graph(source, 9, rng=21)
+        assert smaller.num_vertices == 9
+        assert VF2Matcher().is_subgraph(smaller, source)
+
+    def test_extend_produces_supergraph(self):
+        base = molecule_graph(10, rng=22)
+        bigger = extend_graph(base, 4, labels=["C", "N"], rng=23)
+        assert bigger.num_vertices == 14
+        assert VF2Matcher().is_subgraph(base, bigger)
+
+    def test_extend_zero_vertices_is_copy(self):
+        base = molecule_graph(10, rng=24)
+        same = extend_graph(base, 0, labels=["C"], rng=25)
+        assert same.num_vertices == base.num_vertices
+        assert same.num_edges == base.num_edges
+
+    def test_extend_requires_labels(self):
+        base = molecule_graph(5, rng=26)
+        with pytest.raises(GraphError):
+            extend_graph(base, 2, labels=[], rng=27)
+
+    def test_extend_negative_rejected(self):
+        base = molecule_graph(5, rng=28)
+        with pytest.raises(GraphError):
+            extend_graph(base, -1, labels=["C"])
+
+    def test_extend_stays_connected(self):
+        base = molecule_graph(12, rng=29)
+        bigger = extend_graph(base, 5, labels=["C", "O"], rng=30)
+        assert bigger.is_connected()
+
+
+class TestSetLikeOperations:
+    def test_disjoint_union_sizes(self):
+        first = path_graph(["C", "O"])
+        second = path_graph(["N", "N", "S"])
+        union = disjoint_union(first, second)
+        assert union.num_vertices == 5
+        assert union.num_edges == 3
+        assert len(union.connected_components()) == 2
+
+    def test_edge_induced_subgraph(self, square_with_tail):
+        sub = edge_induced_subgraph(square_with_tail, [(0, 1), (1, 2)])
+        assert sub.num_vertices == 3
+        assert sub.num_edges == 2
+
+    def test_edge_induced_missing_edge_raises(self, square_with_tail):
+        with pytest.raises(GraphError):
+            edge_induced_subgraph(square_with_tail, [(0, 2)])
+
+
+class TestStatistics:
+    def test_density_bounds(self):
+        graph = path_graph(["C", "C", "C"])
+        assert 0.0 < graph_density(graph) < 1.0
+
+    def test_density_trivial_graphs(self):
+        assert graph_density(Graph()) == 0.0
+        single = Graph()
+        single.add_vertex(0, "C")
+        assert graph_density(single) == 0.0
+
+    def test_average_degree(self):
+        graph = path_graph(["C", "C", "C"])
+        assert average_degree(graph) == pytest.approx(4 / 3)
+        assert average_degree(Graph()) == 0.0
+
+    def test_dataset_statistics(self):
+        rng = random.Random(0)
+        dataset = [molecule_graph(10, rng=rng) for _ in range(4)]
+        stats = dataset_statistics(dataset)
+        assert stats["num_graphs"] == 4
+        assert stats["avg_vertices"] == 10
+        assert stats["num_labels"] >= 1
+
+    def test_dataset_statistics_empty(self):
+        stats = dataset_statistics([])
+        assert stats["num_graphs"] == 0
+        assert stats["avg_vertices"] == 0.0

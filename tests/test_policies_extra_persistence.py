@@ -1,0 +1,190 @@
+"""Tests for the extra baseline policies, cache persistence and the
+per-window statistics timeline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache import (
+    CacheEntry,
+    CacheStore,
+    FIFOPolicy,
+    GraphCache,
+    RandomPolicy,
+    SizePolicy,
+    available_policies,
+    load_cache_entries,
+    make_policy,
+    restore_cache,
+    save_cache,
+)
+from repro.cache.persistence import entry_from_dict, entry_to_dict
+from repro.dashboard import DeveloperMonitor
+from repro.errors import CacheError
+from repro.graph import molecule_dataset, molecule_graph
+from repro.query_model import Query, QueryType
+from repro.runtime import GCConfig, GraphCacheSystem
+from tests.conftest import make_subgraph_queries
+
+
+def make_entry(seed: int, clock: int = 0, answer=frozenset({1})) -> CacheEntry:
+    entry = CacheEntry(
+        graph=molecule_graph(5 + seed % 4, rng=seed),
+        query_type=QueryType.SUBGRAPH,
+        answer=frozenset(answer),
+        admitted_clock=clock,
+    )
+    return entry
+
+
+class TestExtraPolicies:
+    def test_registered(self):
+        assert {"FIFO", "RANDOM", "SIZE"} <= set(available_policies())
+
+    def test_fifo_evicts_oldest_admission(self):
+        policy = FIFOPolicy()
+        old = make_entry(1, clock=1)
+        new = make_entry(2, clock=9)
+        assert policy.get_replaced_content([new, old], 1) == [1]
+
+    def test_random_is_deterministic_per_seed(self):
+        first = RandomPolicy(seed=3)
+        second = RandomPolicy(seed=3)
+        entry = make_entry(3)
+        assert first.utility(entry) == second.utility(entry)
+        assert RandomPolicy(seed=4).describe()["seed"] == 4
+
+    def test_size_prefers_bigger_graphs(self):
+        policy = SizePolicy()
+        small = CacheEntry(graph=molecule_graph(4, rng=1), query_type="subgraph",
+                           answer=frozenset())
+        big = CacheEntry(graph=molecule_graph(9, rng=2), query_type="subgraph",
+                         answer=frozenset())
+        assert policy.utility(big) > policy.utility(small)
+
+    @pytest.mark.parametrize("name", ["FIFO", "RANDOM", "SIZE"])
+    def test_capacity_respected(self, name):
+        policy = make_policy(name)
+        store = CacheStore()
+        incoming = [make_entry(seed, clock=seed) for seed in range(8)]
+        policy.update_cache_items(store, incoming, capacity=4)
+        assert len(store) <= 4
+
+    @pytest.mark.parametrize("name", ["FIFO", "RANDOM", "SIZE"])
+    def test_end_to_end_correctness(self, name):
+        dataset = molecule_dataset(10, min_vertices=8, max_vertices=12, rng=17)
+        config = GCConfig(cache_capacity=5, window_size=1, method="direct-si",
+                          replacement_policy=name)
+        system = GraphCacheSystem(dataset, config)
+        from repro.methods import DirectSIMethod
+
+        baseline = DirectSIMethod()
+        baseline.build(dataset)
+        for query in make_subgraph_queries(dataset, 6, 6, seed=18):
+            report = system.run_query(query)
+            assert report.answer == baseline.execute(query.graph, query.query_type).answer
+
+
+class TestPersistence:
+    def test_entry_round_trip(self):
+        entry = make_entry(5, clock=7, answer={1, 2, 3})
+        entry.stats.hit_count = 4
+        entry.stats.tests_saved = 11
+        entry.stats.seconds_saved = 0.5
+        entry.observed_test_cost = 0.002
+        restored = entry_from_dict(entry_to_dict(entry))
+        assert restored.graph.structural_equal(entry.graph)
+        assert restored.answer == entry.answer
+        assert restored.query_type is entry.query_type
+        assert restored.stats.hit_count == 4
+        assert restored.stats.tests_saved == 11
+        assert restored.observed_test_cost == pytest.approx(0.002)
+        assert restored.entry_id != entry.entry_id  # fresh id on load
+
+    def test_save_and_restore_cache(self, tmp_path):
+        cache = GraphCache(capacity=10, window_size=1, policy="LRU")
+        cache.warm([make_entry(seed, answer={seed}) for seed in range(6)])
+        path = tmp_path / "cache.json"
+        written = save_cache(cache, path)
+        assert written == 6
+
+        fresh = GraphCache(capacity=10, window_size=1, policy="LRU")
+        restored = restore_cache(fresh, path)
+        assert restored == 6
+        assert len(fresh) == 6
+        assert len(fresh.query_index) == 6
+
+    def test_restore_respects_capacity(self, tmp_path):
+        cache = GraphCache(capacity=10, window_size=1)
+        cache.warm([make_entry(seed) for seed in range(8)])
+        path = tmp_path / "cache.json"
+        save_cache(cache, path)
+        small = GraphCache(capacity=3, window_size=1)
+        restore_cache(small, path)
+        assert len(small) == 3
+
+    def test_restored_cache_produces_hits(self, tmp_path):
+        dataset = molecule_dataset(12, min_vertices=10, max_vertices=14, rng=23)
+        config = GCConfig(cache_capacity=10, window_size=1, method="direct-si")
+        system = GraphCacheSystem(dataset, config)
+        queries = make_subgraph_queries(dataset, 5, 7, seed=24)
+        for query in queries:
+            system.run_query(query)
+        path = tmp_path / "warm.json"
+        save_cache(system.cache, path)
+
+        # a brand new system restored from the snapshot sees exact hits for
+        # the same patterns without re-running them first
+        fresh = GraphCacheSystem(dataset, config)
+        restore_cache(fresh.cache, path)
+        repeat = Query(graph=queries[0].graph.copy(), query_type=QueryType.SUBGRAPH)
+        report = fresh.run_query(repeat)
+        assert report.exact_hit_entry is not None
+        assert report.dataset_tests == 0
+
+    def test_malformed_snapshot_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("[]", encoding="utf-8")
+        with pytest.raises(CacheError):
+            load_cache_entries(path)
+        path.write_text('{"format_version": 99, "entries": []}', encoding="utf-8")
+        with pytest.raises(CacheError):
+            load_cache_entries(path)
+        path.write_text('{"entries": [{"graph": {}}]}', encoding="utf-8")
+        with pytest.raises(CacheError):
+            load_cache_entries(path)
+
+
+class TestStatisticsTimeline:
+    def test_window_summaries(self):
+        dataset = molecule_dataset(10, min_vertices=8, max_vertices=12, rng=31)
+        system = GraphCacheSystem(dataset, GCConfig(cache_capacity=8, window_size=1,
+                                                    method="direct-si"))
+        pattern = make_subgraph_queries(dataset, 1, 6, seed=32)[0]
+        for _ in range(6):
+            system.run_query(Query(graph=pattern.graph.copy(), query_type=QueryType.SUBGRAPH))
+        timeline = system.statistics.window_summaries(3)
+        assert len(timeline) == 2
+        assert timeline[0]["queries"] == 3
+        # later windows hit the cache more than the very first query
+        assert timeline[1]["hit_ratio"] >= timeline[0]["hit_ratio"]
+        assert timeline[1]["tests_saved"] >= 0
+
+    def test_window_summaries_validation(self):
+        from repro.cache import StatisticsManager
+
+        with pytest.raises(ValueError):
+            StatisticsManager().window_summaries(0)
+        assert StatisticsManager().window_summaries(5) == []
+
+    def test_developer_monitor_timeline(self):
+        dataset = molecule_dataset(8, min_vertices=8, max_vertices=10, rng=33)
+        system = GraphCacheSystem(dataset, GCConfig(cache_capacity=5, window_size=1,
+                                                    method="direct-si"))
+        monitor = DeveloperMonitor(system)
+        assert "no queries" in monitor.render_timeline()
+        for query in make_subgraph_queries(dataset, 4, 5, seed=34):
+            system.run_query(query)
+        text = monitor.render_timeline(window_size=2)
+        assert "hit_ratio" in text
+        assert len(monitor.window_timeline(2)) == 2

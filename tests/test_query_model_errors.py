@@ -1,0 +1,78 @@
+"""Tests for the query model and the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import errors
+from repro.graph import path_graph
+from repro.query_model import Query, QueryType
+
+
+class TestQueryType:
+    def test_parse_strings(self):
+        assert QueryType.parse("subgraph") is QueryType.SUBGRAPH
+        assert QueryType.parse("SUPERGRAPH") is QueryType.SUPERGRAPH
+
+    def test_parse_enum_passthrough(self):
+        assert QueryType.parse(QueryType.SUBGRAPH) is QueryType.SUBGRAPH
+
+    def test_parse_invalid(self):
+        with pytest.raises(ValueError):
+            QueryType.parse("sideways")
+
+
+class TestQuery:
+    def test_defaults(self):
+        query = Query(graph=path_graph(["C", "O"]))
+        assert query.query_type is QueryType.SUBGRAPH
+        assert query.num_vertices == 2
+        assert query.num_edges == 1
+
+    def test_query_ids_increase(self):
+        first = Query(graph=path_graph(["C"]))
+        second = Query(graph=path_graph(["C"]))
+        assert second.query_id > first.query_id
+
+    def test_string_query_type_coerced(self):
+        query = Query(graph=path_graph(["C"]), query_type="supergraph")
+        assert query.query_type is QueryType.SUPERGRAPH
+
+    def test_repr(self):
+        assert "subgraph" in repr(Query(graph=path_graph(["C", "O"])))
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.GraphError,
+            errors.GraphFormatError,
+            errors.IsomorphismError,
+            errors.IndexError_,
+            errors.MethodError,
+            errors.CacheError,
+            errors.WorkloadError,
+            errors.ConfigurationError,
+        ],
+    )
+    def test_all_derive_from_base(self, exc):
+        assert issubclass(exc, errors.GraphCacheError)
+
+    def test_vertex_not_found_payload(self):
+        error = errors.VertexNotFoundError(7)
+        assert error.vertex == 7
+        assert "7" in str(error)
+
+    def test_unknown_policy_lists_alternatives(self):
+        error = errors.UnknownPolicyError("FIFO", ["LRU", "HD"])
+        assert "FIFO" in str(error)
+        assert "LRU" in str(error)
+
+    def test_unknown_method_message(self):
+        error = errors.UnknownMethodError("x", ["direct-si"])
+        assert "direct-si" in str(error)
+
+    def test_budget_exceeded_payload(self):
+        error = errors.BudgetExceededError(100)
+        assert error.budget == 100

@@ -1,0 +1,116 @@
+"""Additional coverage: run-result summaries, report internals, edge cases."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.statistics import QueryRecord, StatisticsManager
+from repro.graph import molecule_dataset, path_graph
+from repro.query_model import Query, QueryType
+from repro.runtime import GCConfig, GraphCacheSystem
+from repro.runtime.report import QueryReport
+from repro.workload import WorkloadGenerator, run_workload
+from repro.workload.runner import WorkloadRunResult
+from tests.conftest import make_subgraph_queries
+
+
+@pytest.fixture(scope="module")
+def small_system():
+    dataset = molecule_dataset(12, min_vertices=8, max_vertices=12, rng=901)
+    system = GraphCacheSystem(dataset, GCConfig(cache_capacity=8, window_size=2,
+                                                method="direct-si"))
+    return dataset, system
+
+
+class TestWorkloadRunResult:
+    def test_summary_fields(self, small_system):
+        dataset, system = small_system
+        workload = WorkloadGenerator(dataset, rng=902).generate(6, mix="uniform", name="w")
+        result = run_workload(system, workload)
+        summary = result.summary()
+        assert summary["workload"] == "w"
+        assert summary["method"] == "direct-si"
+        assert summary["queries"] == 6
+        assert summary["baseline_tests"] >= summary["dataset_tests"]
+        assert result.test_speedup >= 1.0
+        assert result.index_memory_bytes == 0  # direct SI has no index
+
+    def test_empty_result_defaults(self):
+        result = WorkloadRunResult(workload_name="x", policy="HD", method="direct-si")
+        assert result.test_speedup == 1.0
+        assert result.time_speedup == 1.0
+        assert result.summary()["queries"] == 0
+
+
+class TestQueryReportDetails:
+    def test_num_hits_counts_all_kinds(self):
+        query = Query(graph=path_graph(["C", "O"]), query_type=QueryType.SUBGRAPH)
+        report = QueryReport(query=query, sub_hit_entries=[1, 2], super_hit_entries=[3],
+                             exact_hit_entry=4)
+        assert report.num_hits == 4
+
+    def test_journey_speedup_field_matches_property(self):
+        query = Query(graph=path_graph(["C", "O"]), query_type=QueryType.SUBGRAPH)
+        report = QueryReport(query=query, baseline_tests=10, dataset_tests=5)
+        assert report.journey()["test_speedup"] == report.test_speedup
+
+    def test_zero_candidate_query_speedup_is_one(self):
+        query = Query(graph=path_graph(["Zz", "Zz"]), query_type=QueryType.SUBGRAPH)
+        report = QueryReport(query=query, baseline_tests=0, dataset_tests=0)
+        assert report.test_speedup == 1.0
+        assert report.tests_saved == 0
+
+    def test_exact_hit_report_shape_end_to_end(self, small_system):
+        dataset, system = small_system
+        pattern = make_subgraph_queries(dataset, 1, 6, seed=903)[0]
+        system.run_query(Query(graph=pattern.graph.copy(), query_type=QueryType.SUBGRAPH))
+        if system.cache is not None:
+            system.cache.flush_window()
+        repeat = system.run_query(Query(graph=pattern.graph.copy(),
+                                        query_type=QueryType.SUBGRAPH))
+        if repeat.exact_hit_entry is not None:
+            assert repeat.verified_candidates == set()
+            assert repeat.answer == repeat.guaranteed_answers
+            assert repeat.guaranteed_non_answers == (
+                repeat.method_candidates - repeat.answer
+            )
+
+
+class TestStatisticsEdgeCases:
+    def test_records_are_copies(self):
+        manager = StatisticsManager()
+        manager.record(QueryRecord(query_id=1, query_type=QueryType.SUBGRAPH))
+        records = manager.records()
+        records.append("sentinel")
+        assert len(manager.records()) == 1
+
+    def test_hit_percentage_with_short_population_trace(self):
+        manager = StatisticsManager()
+        manager.record(QueryRecord(query_id=1, query_type=QueryType.SUBGRAPH, sub_hits=1))
+        manager.record(QueryRecord(query_id=2, query_type=QueryType.SUBGRAPH, sub_hits=1))
+        # only one population value supplied for two records
+        percentages = manager.per_query_hit_percentages([4])
+        assert percentages[0] == pytest.approx(25.0)
+        assert percentages[1] == pytest.approx(100.0)
+
+    def test_window_summary_speedup_infinite_when_no_tests(self):
+        manager = StatisticsManager()
+        manager.record(QueryRecord(query_id=1, query_type=QueryType.SUBGRAPH,
+                                   baseline_tests=5, dataset_tests=0, exact_hit=True))
+        summary = manager.window_summaries(10)[0]
+        assert summary["test_speedup"] == float("inf")
+        assert summary["tests_saved"] == 5
+
+
+class TestSystemPopulationTrace:
+    def test_hit_percentages_use_population_at_query_time(self, small_system):
+        dataset, _ = small_system
+        system = GraphCacheSystem(dataset, GCConfig(cache_capacity=8, window_size=1,
+                                                    method="direct-si"))
+        queries = make_subgraph_queries(dataset, 4, 6, seed=904)
+        for query in queries:
+            system.run_query(query)
+        percentages = system.hit_percentages()
+        assert len(percentages) == 4
+        # the first query runs against an empty cache: zero percent by definition
+        assert percentages[0] == 0.0

@@ -1,0 +1,100 @@
+"""Tests for the SDF / molfile reader and writer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph import molecule_dataset
+from repro.graph.sdf import (
+    format_molfile,
+    format_sdf_text,
+    load_sdf_file,
+    parse_molfile,
+    parse_sdf_text,
+    save_sdf_file,
+)
+
+ASPIRIN_LIKE = """aspirin-fragment
+  test
+
+  4  3  0  0  0  0  0  0  0  0999 V2000
+    0.0000    0.0000    0.0000 C   0  0  0  0  0  0  0  0  0  0  0  0
+    1.0000    0.0000    0.0000 C   0  0  0  0  0  0  0  0  0  0  0  0
+    2.0000    0.0000    0.0000 O   0  0  0  0  0  0  0  0  0  0  0  0
+    3.0000    0.0000    0.0000 O   0  0  0  0  0  0  0  0  0  0  0  0
+  1  2  1  0  0  0  0
+  2  3  2  0  0  0  0
+  2  4  1  0  0  0  0
+M  END
+"""
+
+
+class TestParseMolfile:
+    def test_atoms_and_bonds(self):
+        graph = parse_molfile(ASPIRIN_LIKE)
+        assert graph.num_vertices == 4
+        assert graph.num_edges == 3
+        assert graph.name == "aspirin-fragment"
+        assert graph.label(0) == "C"
+        assert graph.label(2) == "O"
+
+    def test_bond_orders_as_edge_labels(self):
+        graph = parse_molfile(ASPIRIN_LIKE)
+        assert graph.edge_label(1, 2) == "2"
+        assert graph.edge_label(0, 1) == "1"
+
+    def test_too_short_rejected(self):
+        with pytest.raises(GraphFormatError):
+            parse_molfile("just\ntwo lines")
+
+    def test_malformed_counts_rejected(self):
+        bad = "name\n\n\nxx yy\n"
+        with pytest.raises(GraphFormatError):
+            parse_molfile(bad)
+
+    def test_truncated_block_rejected(self):
+        truncated = "\n".join(ASPIRIN_LIKE.splitlines()[:5])
+        with pytest.raises(GraphFormatError):
+            parse_molfile(truncated)
+
+    def test_bond_to_missing_atom_rejected(self):
+        bad = ASPIRIN_LIKE.replace("  2  4  1", "  2  9  1")
+        with pytest.raises(GraphFormatError):
+            parse_molfile(bad)
+
+
+class TestSdfRoundTrip:
+    def test_multi_molecule_parse(self):
+        text = ASPIRIN_LIKE + "$$$$\n" + ASPIRIN_LIKE + "$$$$\n"
+        graphs = parse_sdf_text(text)
+        assert len(graphs) == 2
+        assert graphs[0].graph_id == 0
+        assert graphs[1].graph_id == 1
+
+    def test_round_trip_preserves_structure(self):
+        dataset = molecule_dataset(5, min_vertices=5, max_vertices=10, rng=9)
+        text = format_sdf_text(dataset)
+        back = parse_sdf_text(text)
+        assert len(back) == len(dataset)
+        for original, restored in zip(dataset, back):
+            assert restored.num_vertices == original.num_vertices
+            assert restored.num_edges == original.num_edges
+            assert restored.label_counts() == original.label_counts()
+
+    def test_file_round_trip(self, tmp_path):
+        dataset = molecule_dataset(3, min_vertices=5, max_vertices=8, rng=10)
+        path = tmp_path / "dataset.sdf"
+        save_sdf_file(dataset, path)
+        back = load_sdf_file(path)
+        assert len(back) == 3
+
+    def test_empty_dataset(self):
+        assert format_sdf_text([]) == ""
+        assert parse_sdf_text("") == []
+
+    def test_format_molfile_contains_counts_and_end(self):
+        graph = molecule_dataset(1, min_vertices=6, max_vertices=6, rng=11)[0]
+        block = format_molfile(graph)
+        assert "V2000" in block
+        assert block.strip().endswith("M  END")

@@ -1,0 +1,139 @@
+"""Tests for the Window Manager and the Statistics Manager."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache import CacheEntry, QueryRecord, StatisticsManager, WindowManager
+from repro.errors import ConfigurationError
+from repro.graph import molecule_graph
+from repro.query_model import QueryType
+
+
+def make_entry(seed: int) -> CacheEntry:
+    return CacheEntry(
+        graph=molecule_graph(5, rng=seed), query_type=QueryType.SUBGRAPH, answer=frozenset()
+    )
+
+
+class TestWindowManager:
+    def test_offer_returns_batch_when_full(self):
+        window = WindowManager(window_size=3)
+        assert window.offer(make_entry(1), tests_performed=5) is None
+        assert window.offer(make_entry(2), tests_performed=5) is None
+        batch = window.offer(make_entry(3), tests_performed=5)
+        assert batch is not None
+        assert len(batch) == 3
+        assert window.pending_count == 0
+
+    def test_flush_releases_partial_window(self):
+        window = WindowManager(window_size=10)
+        window.offer(make_entry(4), tests_performed=1)
+        window.offer(make_entry(5), tests_performed=1)
+        batch = window.flush()
+        assert len(batch) == 2
+        assert window.flush() == []
+
+    def test_admission_control_rejects_cheap_queries(self):
+        window = WindowManager(window_size=2, min_tests_to_admit=10)
+        assert window.offer(make_entry(6), tests_performed=3) is None
+        assert window.pending_count == 0
+        snapshot = window.snapshot()
+        assert snapshot.rejected == 1
+
+    def test_snapshot_contents(self):
+        window = WindowManager(window_size=5)
+        entry = make_entry(7)
+        window.offer(entry, tests_performed=1)
+        snapshot = window.snapshot()
+        assert snapshot.pending == [entry.entry_id]
+        assert snapshot.window_size == 5
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            WindowManager(window_size=0)
+        with pytest.raises(ConfigurationError):
+            WindowManager(window_size=5, min_tests_to_admit=-1)
+
+
+def record(
+    query_id: int,
+    baseline_tests: int = 10,
+    dataset_tests: int = 5,
+    sub_hits: int = 1,
+    super_hits: int = 0,
+    exact: bool = False,
+    total_seconds: float = 0.01,
+    baseline_seconds: float | None = 0.02,
+) -> QueryRecord:
+    return QueryRecord(
+        query_id=query_id,
+        query_type=QueryType.SUBGRAPH,
+        baseline_tests=baseline_tests,
+        dataset_tests=dataset_tests,
+        sub_hits=sub_hits,
+        super_hits=super_hits,
+        exact_hit=exact,
+        total_seconds=total_seconds,
+        baseline_seconds=baseline_seconds,
+    )
+
+
+class TestStatisticsManager:
+    def test_empty_aggregate(self):
+        aggregate = StatisticsManager().aggregate()
+        assert aggregate.num_queries == 0
+        assert aggregate.test_speedup == 1.0
+
+    def test_aggregate_counts(self):
+        manager = StatisticsManager()
+        manager.record(record(1))
+        manager.record(record(2, sub_hits=0, super_hits=2))
+        manager.record(record(3, sub_hits=0, exact=True, dataset_tests=0))
+        aggregate = manager.aggregate()
+        assert aggregate.num_queries == 3
+        assert aggregate.num_hits == 3
+        assert aggregate.num_exact_hits == 1
+        assert aggregate.num_sub_hits == 1
+        assert aggregate.num_super_hits == 2
+        assert aggregate.hit_ratio == 1.0
+
+    def test_speedup_definition(self):
+        manager = StatisticsManager()
+        manager.record(record(1, baseline_tests=20, dataset_tests=10))
+        manager.record(record(2, baseline_tests=30, dataset_tests=15))
+        aggregate = manager.aggregate()
+        assert aggregate.test_speedup == pytest.approx(2.0)
+
+    def test_infinite_speedup_when_no_tests(self):
+        manager = StatisticsManager()
+        manager.record(record(1, baseline_tests=10, dataset_tests=0, exact=True))
+        assert manager.aggregate().test_speedup == float("inf")
+
+    def test_time_speedup(self):
+        manager = StatisticsManager()
+        manager.record(record(1, total_seconds=0.01, baseline_seconds=0.04))
+        assert manager.aggregate().time_speedup == pytest.approx(4.0)
+
+    def test_tests_saved_property(self):
+        r = record(1, baseline_tests=12, dataset_tests=4)
+        assert r.tests_saved == 8
+
+    def test_hit_percentages(self):
+        manager = StatisticsManager()
+        manager.record(record(1, sub_hits=2, super_hits=1))
+        manager.record(record(2, sub_hits=0, super_hits=0))
+        percentages = manager.per_query_hit_percentages([10, 10])
+        assert percentages[0] == pytest.approx(30.0)
+        assert percentages[1] == 0.0
+
+    def test_hit_percentages_without_population(self):
+        manager = StatisticsManager()
+        manager.record(record(1, sub_hits=2))
+        assert manager.per_query_hit_percentages()[0] == pytest.approx(200.0)
+
+    def test_reset(self):
+        manager = StatisticsManager()
+        manager.record(record(1))
+        manager.reset()
+        assert len(manager) == 0
