@@ -9,6 +9,7 @@ pytest run (stdout is captured by pytest).
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 from repro.dashboard import format_table
@@ -47,3 +48,16 @@ def rows_to_report(experiment: str, title: str, rows: list[dict], columns=None) 
     table = format_table(rows, columns=columns)
     write_report(experiment, title, table)
     return table
+
+
+def write_json_report(experiment: str, payload: dict) -> Path:
+    """Write one experiment's machine-readable results.
+
+    Files are named ``BENCH_<experiment>.json`` so tooling (and
+    ``benchmarks/run_all.py``) can track the performance trajectory across
+    PRs without parsing the human-readable tables.
+    """
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{experiment}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True), encoding="utf-8")
+    return path

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Run the full benchmark suite and emit machine-readable results.
+
+Entry point for performance tracking: runs every ``test_bench_*`` module
+under pytest, then collates everything the benchmarks wrote to
+``benchmarks/results/`` — both the human-readable ``*.txt`` tables and the
+machine-readable ``BENCH_*.json`` files — into a single
+``benchmarks/results/BENCH_all.json`` manifest, so the perf trajectory can
+be diffed across PRs by tooling.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python benchmarks/run_all.py            # everything
+    PYTHONPATH=src python benchmarks/run_all.py -k concurrent   # a subset
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import subprocess
+import sys
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent
+REPO_ROOT = BENCH_DIR.parent
+RESULTS_DIR = BENCH_DIR / "results"
+
+
+def run_benchmarks(extra_args: list[str]) -> int:
+    """Run the benchmark pytest modules; returns the pytest exit code."""
+    env_path = str(REPO_ROOT / "src")
+    import os
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = env_path + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    command = [sys.executable, "-m", "pytest", str(BENCH_DIR), "-q", *extra_args]
+    print("$", " ".join(command))
+    return subprocess.call(command, cwd=REPO_ROOT, env=env)
+
+
+def collate(exit_code: int) -> Path:
+    """Gather every result file into one BENCH_all.json manifest."""
+    machine_results = {}
+    for path in sorted(RESULTS_DIR.glob("BENCH_*.json")):
+        if path.name == "BENCH_all.json":
+            continue
+        try:
+            machine_results[path.stem] = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError:
+            machine_results[path.stem] = {"error": "unreadable JSON"}
+    manifest = {
+        "exit_code": exit_code,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "text_reports": sorted(
+            p.name for p in RESULTS_DIR.glob("*.txt")
+        ),
+        "machine_results": machine_results,
+    }
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    out = RESULTS_DIR / "BENCH_all.json"
+    out.write_text(json.dumps(manifest, indent=2, sort_keys=True), encoding="utf-8")
+    return out
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("-k", dest="keyword", default=None,
+                        help="only run benchmarks matching this pytest -k expression")
+    parser.add_argument("pytest_args", nargs="*",
+                        help="extra arguments passed through to pytest")
+    args = parser.parse_args(argv)
+
+    extra = list(args.pytest_args)
+    if args.keyword:
+        extra += ["-k", args.keyword]
+    exit_code = run_benchmarks(extra)
+    manifest = collate(exit_code)
+    print(f"wrote {manifest}")
+    return exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

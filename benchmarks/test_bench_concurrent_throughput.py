@@ -1,0 +1,159 @@
+"""C1 — Concurrent query throughput: queries/sec vs worker count.
+
+The headline benchmark for the pipelined concurrent engine: the same
+verification-bound workload is executed with 1, 2, 4 and 8 concurrent query
+streams, with synchronous and with asynchronous cache maintenance.
+
+The scenario models the regime the paper targets — query cost dominated by
+dataset sub-iso *verification* — by attaching a fixed per-test latency to the
+verifier (as if dataset graphs were disk/network-resident, NeedleTail-style).
+That latency is where a hardware-speed deployment actually waits, and it is
+what concurrent query streams overlap.  A small pure-CPU arm is also
+recorded for honesty: pure-Python in-memory verification is GIL-bound and is
+not expected to scale with threads.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.graph.graph import Graph
+from repro.isomorphism.base import MatchResult, SubgraphMatcher
+from repro.isomorphism.vf2 import VF2Matcher
+from repro.methods import DirectSIMethod
+from repro.runtime import GCConfig, GraphCacheSystem
+from repro.workload import WorkloadGenerator, WorkloadMix
+
+from benchmarks.harness import rows_to_report, standard_dataset, write_json_report, write_report
+
+WORKER_COUNTS = [1, 2, 4, 8]
+NUM_QUERIES = 36
+DATASET_SIZE = 40
+#: Simulated per-test verification latency (seconds) — the "hardware" cost of
+#: fetching + testing one dataset graph in the verification-bound regime.
+TEST_LATENCY = 0.00035
+
+
+class SimulatedLatencyMatcher(SubgraphMatcher):
+    """VF2 plus a fixed per-test latency (verification-bound deployments)."""
+
+    name = "vf2+latency"
+
+    def __init__(self, latency_seconds: float) -> None:
+        self._inner = VF2Matcher()
+        self._latency = latency_seconds
+
+    def find_embedding(self, query: Graph, target: Graph) -> MatchResult:
+        time.sleep(self._latency)
+        return self._inner.find_embedding(query, target)
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    dataset = standard_dataset(DATASET_SIZE, seed=91, min_vertices=10, max_vertices=20)
+    # fresh-heavy mix => few cache hits => nearly every candidate is verified
+    mix = WorkloadMix(fresh_fraction=0.7, repeat_fraction=0.1,
+                      shrink_fraction=0.1, extend_fraction=0.1,
+                      min_pattern_vertices=5, max_pattern_vertices=8)
+    workload = WorkloadGenerator(dataset, rng=92).generate(
+        NUM_QUERIES, mix=mix, name="verification-bound"
+    )
+    return dataset, workload
+
+
+def run_configuration(dataset, workload, workers: int, async_maintenance: bool,
+                      latency: float | None = TEST_LATENCY) -> dict:
+    """One full workload run; returns throughput and correctness payload."""
+    config = GCConfig(cache_capacity=20, window_size=5,
+                      max_workers=workers, async_maintenance=async_maintenance)
+    verifier = SimulatedLatencyMatcher(latency) if latency else None
+    method = DirectSIMethod(verifier=verifier)
+    with GraphCacheSystem(dataset, config, method=method) as system:
+        queries = [q.graph.copy() for q in workload]
+        start = time.perf_counter()
+        reports = system.run_queries_concurrent(queries, max_workers=workers)
+        elapsed = time.perf_counter() - start
+    return {
+        "workers": workers,
+        "async_maintenance": async_maintenance,
+        "elapsed_seconds": elapsed,
+        "queries_per_sec": len(reports) / elapsed,
+        "answers": [sorted(report.answer, key=str) for report in reports],
+    }
+
+
+def test_bench_concurrent_throughput(benchmark, scenario):
+    """Queries/sec at 1/2/4/8 workers, async maintenance off and on."""
+    dataset, workload = scenario
+
+    rows = []
+    reference_answers = None
+    baselines: dict[bool, float] = {}
+    for async_maintenance in (False, True):
+        for workers in WORKER_COUNTS:
+            result = run_configuration(dataset, workload, workers, async_maintenance)
+            if reference_answers is None:
+                reference_answers = result["answers"]
+            assert result["answers"] == reference_answers, (
+                f"answers changed at workers={workers} async={async_maintenance}"
+            )
+            if workers == 1:
+                baselines[async_maintenance] = result["queries_per_sec"]
+            rows.append({
+                "workers": workers,
+                "async_maintenance": async_maintenance,
+                "queries_per_sec": round(result["queries_per_sec"], 1),
+                "elapsed_seconds": round(result["elapsed_seconds"], 4),
+                "speedup_vs_1_worker": round(
+                    result["queries_per_sec"] / baselines[async_maintenance], 2
+                ),
+            })
+
+    # a GIL-honesty arm: pure in-memory CPU verification at 1 vs 4 workers
+    cpu_rows = []
+    for workers in (1, 4):
+        result = run_configuration(dataset, workload, workers, False, latency=None)
+        assert result["answers"] == reference_answers
+        cpu_rows.append({
+            "workers": workers,
+            "queries_per_sec": round(result["queries_per_sec"], 1),
+            "elapsed_seconds": round(result["elapsed_seconds"], 4),
+        })
+
+    table = rows_to_report(
+        "C1_concurrent_throughput",
+        "C1: Concurrent throughput (verification-bound, simulated test latency)",
+        rows,
+        columns=["workers", "async_maintenance", "queries_per_sec",
+                 "elapsed_seconds", "speedup_vs_1_worker"],
+    )
+    rows_to_report(
+        "C1_concurrent_throughput_cpu",
+        "C1b: Pure-CPU arm (GIL-bound; threads are not expected to help)",
+        cpu_rows,
+        columns=["workers", "queries_per_sec", "elapsed_seconds"],
+    )
+    write_json_report("concurrent_throughput", {
+        "experiment": "C1_concurrent_throughput",
+        "num_queries": NUM_QUERIES,
+        "dataset_size": DATASET_SIZE,
+        "test_latency_seconds": TEST_LATENCY,
+        "rows": rows,
+        "cpu_bound_rows": cpu_rows,
+    })
+    print("\n" + table)
+
+    # acceptance: >1.5x queries/sec at 4 workers vs 1 worker
+    for async_maintenance in (False, True):
+        four = next(r for r in rows
+                    if r["workers"] == 4 and r["async_maintenance"] == async_maintenance)
+        assert four["speedup_vs_1_worker"] > 1.5, (
+            f"expected >1.5x at 4 workers (async={async_maintenance}), "
+            f"got {four['speedup_vs_1_worker']}x"
+        )
+
+    benchmark.pedantic(
+        lambda: run_configuration(dataset, workload, 4, True), rounds=1, iterations=1
+    )

@@ -2,6 +2,8 @@
 
 from repro.cache.entry import CacheEntry, EntryStatistics
 from repro.cache.graph_cache import CacheLookup, GraphCache
+from repro.cache.locks import ReadWriteLock
+from repro.cache.maintenance import CacheMaintenanceWorker, MaintenanceStats
 from repro.cache.policies import (
     EvictionReport,
     FIFOPolicy,
@@ -40,6 +42,9 @@ __all__ = [
     "CacheStore",
     "GraphCache",
     "CacheLookup",
+    "ReadWriteLock",
+    "CacheMaintenanceWorker",
+    "MaintenanceStats",
     "CachedQueryIndex",
     "SubCaseProcessor",
     "SuperCaseProcessor",

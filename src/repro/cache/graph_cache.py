@@ -17,9 +17,12 @@ The public operations, in the order the runtime calls them per query:
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 from repro.cache.entry import CacheEntry
+from repro.cache.locks import ReadWriteLock
+from repro.cache.maintenance import CacheMaintenanceWorker
 from repro.cache.policies.base import (
     EvictionReport,
     HitContribution,
@@ -78,6 +81,7 @@ class GraphCache:
         enable_sub_case: bool = True,
         enable_super_case: bool = True,
         memory_budget_bytes: int | None = None,
+        async_maintenance: bool = False,
     ) -> None:
         if capacity < 1:
             raise CacheCapacityError("cache capacity must be at least 1")
@@ -102,6 +106,15 @@ class GraphCache:
         self._probe_matcher = matcher
         self._clock = 0
         self._eviction_reports: list[EvictionReport] = []
+        #: Reader-writer lock guarding every cache structure: lookups share
+        #: it, crediting/admission/replacement take it exclusively.
+        self._lock = ReadWriteLock()
+        self._clock_lock = threading.Lock()
+        #: Optional cache-manager thread applying admissions off the query
+        #: critical path (the paper's concurrent maintenance design).
+        self.maintenance: CacheMaintenanceWorker | None = (
+            CacheMaintenanceWorker(self) if async_maintenance else None
+        )
 
     # ------------------------------------------------------------------ #
     # clock
@@ -113,8 +126,9 @@ class GraphCache:
 
     def tick(self) -> int:
         """Advance the logical clock (one tick per processed query)."""
-        self._clock += 1
-        return self._clock
+        with self._clock_lock:
+            self._clock += 1
+            return self._clock
 
     # ------------------------------------------------------------------ #
     # lookup
@@ -124,8 +138,13 @@ class GraphCache:
 
         Only cached entries with the *same query semantics* are considered:
         a cached subgraph query's answer set says nothing directly about a
-        supergraph query, and vice versa.
+        supergraph query, and vice versa.  Lookups hold the read lock, so
+        any number of concurrent queries can probe the cache at once.
         """
+        with self._lock.read_locked():
+            return self._lookup_unlocked(query)
+
+    def _lookup_unlocked(self, query: Query) -> CacheLookup:
         lookup = CacheLookup(query_id=query.query_id)
         if len(self.store) == 0:
             return lookup
@@ -206,16 +225,19 @@ class GraphCache:
             contributions.append((lookup.exact_entry, HitKind.EXACT))
         contributions.extend((entry, HitKind.SUB) for entry in lookup.sub_hits)
         contributions.extend((entry, HitKind.SUPER) for entry in lookup.super_hits)
-        for entry, kind in contributions:
-            tests_saved = per_hit_savings.get(entry.entry_id, 0)
-            per_test_cost = average_test_seconds or entry.observed_test_cost
-            contribution = HitContribution(
-                kind=kind,
-                clock=clock,
-                tests_saved=tests_saved,
-                seconds_saved=tests_saved * per_test_cost,
-            )
-            self.policy.update_cache_sta_info(entry, contribution)
+        if not contributions:
+            return
+        with self._lock.write_locked():
+            for entry, kind in contributions:
+                tests_saved = per_hit_savings.get(entry.entry_id, 0)
+                per_test_cost = average_test_seconds or entry.observed_test_cost
+                contribution = HitContribution(
+                    kind=kind,
+                    clock=clock,
+                    tests_saved=tests_saved,
+                    seconds_saved=tests_saved * per_test_cost,
+                )
+                self.policy.update_cache_sta_info(entry, contribution)
 
     # ------------------------------------------------------------------ #
     # admission / replacement
@@ -230,8 +252,11 @@ class GraphCache:
     ) -> EvictionReport | None:
         """Offer an executed query for admission through the window manager.
 
-        Returns the eviction report when the admission window flushed (i.e.
-        the replacement policy actually ran), otherwise ``None``.
+        In synchronous mode, returns the eviction report when the admission
+        window flushed (i.e. the replacement policy actually ran), otherwise
+        ``None``.  With async maintenance enabled the offer is enqueued for
+        the maintenance worker and the return value is always ``None`` —
+        admission happens off the query critical path.
         """
         clock = self._clock if clock is None else clock
         entry = CacheEntry(
@@ -242,17 +267,45 @@ class GraphCache:
             observed_test_cost=observed_test_cost,
         )
         entry.stats.last_used_clock = clock
-        batch = self.window.offer(entry, tests_performed)
-        if batch is None:
+        worker = self.maintenance  # snapshot: close() may null the attribute
+        if worker is not None:
+            worker.submit(entry, tests_performed)
             return None
-        return self._apply_replacement(batch)
+        return self.apply_offer(entry, tests_performed)
+
+    def apply_offer(self, entry: CacheEntry, tests_performed: int) -> EvictionReport | None:
+        """Apply one admission offer (window + replacement) under the write lock.
+
+        This is the synchronous half of :meth:`offer`; the maintenance worker
+        calls it from its own thread when async maintenance is enabled.
+        """
+        with self._lock.write_locked():
+            batch = self.window.offer(entry, tests_performed)
+            if batch is None:
+                return None
+            return self._apply_replacement(batch)
 
     def flush_window(self) -> EvictionReport | None:
         """Force the pending window into the cache (end of a workload)."""
-        batch = self.window.flush()
-        if not batch:
-            return None
-        return self._apply_replacement(batch)
+        self.drain_maintenance()
+        with self._lock.write_locked():
+            batch = self.window.flush()
+            if not batch:
+                return None
+            return self._apply_replacement(batch)
+
+    def drain_maintenance(self) -> None:
+        """Wait for the maintenance worker to apply every pending offer."""
+        worker = self.maintenance
+        if worker is not None:
+            worker.drain()
+
+    def close(self) -> None:
+        """Stop the maintenance worker (draining pending offers first)."""
+        worker = self.maintenance
+        self.maintenance = None
+        if worker is not None:
+            worker.stop(drain=True)
 
     def _apply_replacement(self, batch: list[CacheEntry]) -> EvictionReport:
         report = self.policy.update_cache_items(self.store, batch, self.capacity)
@@ -295,38 +348,58 @@ class GraphCache:
 
         Entries are inserted directly (bypassing the window) up to capacity.
         """
-        for entry in entries:
-            if len(self.store) >= self.capacity:
-                break
-            if entry.entry_id in self.store:
-                continue
-            self.store.add(entry)
-            self.query_index.add(entry)
+        with self._lock.write_locked():
+            for entry in entries:
+                if len(self.store) >= self.capacity:
+                    break
+                if entry.entry_id in self.store:
+                    continue
+                self.store.add(entry)
+                self.query_index.add(entry)
 
     # ------------------------------------------------------------------ #
     # introspection
     # ------------------------------------------------------------------ #
     def __len__(self) -> int:
-        return len(self.store)
+        with self._lock.read_locked():
+            return len(self.store)
 
     def entries(self) -> list[CacheEntry]:
         """All cached entries in insertion order."""
-        return self.store.entries()
+        with self._lock.read_locked():
+            return self.store.entries()
 
     def eviction_reports(self) -> list[EvictionReport]:
         """Every replacement round performed so far."""
-        return list(self._eviction_reports)
+        with self._lock.read_locked():
+            return list(self._eviction_reports)
 
     def memory_bytes(self) -> int:
         """Approximate footprint of the cache (entries + query index)."""
+        with self._lock.read_locked():
+            return self._memory_bytes_unlocked()
+
+    def _memory_bytes_unlocked(self) -> int:
         return self.store.memory_bytes() + self.query_index.memory_bytes()
 
     def describe(self) -> dict[str, object]:
         """Configuration and population summary."""
-        return {
-            "capacity": self.capacity,
-            "policy": self.policy.name,
-            "window_size": self.window.window_size,
-            "population": len(self.store),
-            "memory_bytes": self.memory_bytes(),
-        }
+        worker = self.maintenance  # snapshot: close() may null the attribute
+        with self._lock.read_locked():
+            description: dict[str, object] = {
+                "capacity": self.capacity,
+                "policy": self.policy.name,
+                "window_size": self.window.window_size,
+                "population": len(self.store),
+                "memory_bytes": self._memory_bytes_unlocked(),
+                "async_maintenance": worker is not None,
+            }
+        if worker is not None:
+            stats = worker.stats()
+            description["maintenance"] = {
+                "submitted": stats.submitted,
+                "processed": stats.processed,
+                "errors": stats.errors,
+                "last_error": stats.last_error,
+            }
+        return description

@@ -1,0 +1,137 @@
+"""Asynchronous cache maintenance: admission and replacement off the hot path.
+
+The paper's system runs cache management (window admission, statistics-driven
+replacement) on its own cache-manager thread so query processing never waits
+for it.  :class:`CacheMaintenanceWorker` reproduces that design: the query
+runtime *offers* executed queries to the cache, the offer is enqueued, and a
+dedicated daemon thread drains the queue and performs window admission plus
+replacement under the cache's write lock.
+
+The worker is strictly optional — with ``async_maintenance=False`` (the
+default) the cache applies admissions synchronously and all existing
+semantics (and tests) are unchanged.  :meth:`drain` provides a barrier so
+workloads can wait for maintenance to quiesce before inspecting the cache.
+"""
+
+from __future__ import annotations
+
+import logging
+import queue
+import threading
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+logger = logging.getLogger(__name__)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cache.entry import CacheEntry
+    from repro.cache.graph_cache import GraphCache
+
+#: Sentinel pushed onto the queue to stop the worker thread.
+_STOP = object()
+
+
+@dataclass
+class MaintenanceStats:
+    """Counters describing what the worker has done so far."""
+
+    submitted: int = 0
+    processed: int = 0
+    errors: int = 0
+    last_error: str | None = None
+
+    @property
+    def pending(self) -> int:
+        """Offers submitted but not yet applied to the cache."""
+        return self.submitted - self.processed
+
+
+class CacheMaintenanceWorker:
+    """Daemon thread that applies cache admissions asynchronously."""
+
+    def __init__(self, cache: "GraphCache", name: str = "gc-cache-maintenance") -> None:
+        self._cache = cache
+        self._queue: queue.Queue = queue.Queue()
+        self._stats = MaintenanceStats()
+        self._stats_lock = threading.Lock()
+        self._stopped = False
+        #: Serialises submit() against stop() so no offer can be enqueued
+        #: after the worker exits (it would never be processed and a later
+        #: drain()/join() would block forever).
+        self._lifecycle_lock = threading.Lock()
+        self._thread = threading.Thread(target=self._run, name=name, daemon=True)
+        self._thread.start()
+
+    # ------------------------------------------------------------------ #
+    # producer side (called from query threads)
+    # ------------------------------------------------------------------ #
+    def submit(self, entry: "CacheEntry", tests_performed: int) -> None:
+        """Enqueue one executed query for admission (non-blocking).
+
+        If the worker has already been stopped (a query racing ``close()``),
+        the offer is applied synchronously instead of being lost.
+        """
+        with self._lifecycle_lock:
+            if not self._stopped:
+                with self._stats_lock:
+                    self._stats.submitted += 1
+                self._queue.put((entry, tests_performed))
+                return
+        self._cache.apply_offer(entry, tests_performed)
+
+    def drain(self) -> None:
+        """Block until every submitted offer has been applied."""
+        self._queue.join()
+
+    def stop(self, drain: bool = True) -> None:
+        """Stop the worker (optionally draining pending offers first)."""
+        with self._lifecycle_lock:
+            if self._stopped:
+                return
+            self._stopped = True
+        if drain:
+            self.drain()
+        self._queue.put(_STOP)
+        self._thread.join()
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def alive(self) -> bool:
+        """True while the worker thread is running."""
+        return self._thread.is_alive()
+
+    def stats(self) -> MaintenanceStats:
+        """Snapshot of the worker's counters."""
+        with self._stats_lock:
+            return MaintenanceStats(
+                submitted=self._stats.submitted,
+                processed=self._stats.processed,
+                errors=self._stats.errors,
+                last_error=self._stats.last_error,
+            )
+
+    # ------------------------------------------------------------------ #
+    # worker loop
+    # ------------------------------------------------------------------ #
+    def _run(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _STOP:
+                self._queue.task_done()
+                return
+            entry, tests_performed = item
+            try:
+                self._cache.apply_offer(entry, tests_performed)
+            except Exception as exc:  # noqa: BLE001 - the worker must survive
+                # a failed admission may lose one cache entry but must never
+                # kill the thread: drain()/join() would then block forever
+                logger.warning("cache maintenance: admission failed: %s", exc)
+                with self._stats_lock:
+                    self._stats.errors += 1
+                    self._stats.last_error = f"{type(exc).__name__}: {exc}"
+            finally:
+                with self._stats_lock:
+                    self._stats.processed += 1
+                self._queue.task_done()

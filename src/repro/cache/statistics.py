@@ -11,6 +11,7 @@ performance of GC deployed over Method M*; values above 1 are improvements.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 from repro.query_model import QueryType
@@ -28,6 +29,9 @@ class QueryRecord:
     exact_hit: bool = False
     sub_hits: int = 0
     super_hits: int = 0
+    #: Cache population observed just before this query ran (hit-% denominator
+    #: — recorded per query so concurrent completion order cannot misalign it).
+    cache_population: int = 0
     # candidate set sizes (the Query Journey quantities)
     method_candidates: int = 0      # |C_M|
     guaranteed_answers: int = 0     # |S|
@@ -44,6 +48,8 @@ class QueryRecord:
     # what Method M alone would have done (for speedup accounting)
     baseline_tests: int = 0         # == |C_M|
     baseline_seconds: float | None = None
+    #: Wall-clock seconds per pipeline stage (filter/probe/prune/verify/...).
+    stage_seconds: dict[str, float] = field(default_factory=dict)
 
     @property
     def tests_saved(self) -> int:
@@ -76,35 +82,51 @@ class AggregateStatistics:
 
 
 class StatisticsManager:
-    """Accumulates query records and derives aggregates."""
+    """Accumulates query records and derives aggregates.
+
+    Thread-safe: concurrent queries may :meth:`record` simultaneously.
+    """
 
     def __init__(self) -> None:
         self._records: list[QueryRecord] = []
+        self._lock = threading.Lock()
 
     def record(self, record: QueryRecord) -> None:
         """Append one query record."""
-        self._records.append(record)
+        with self._lock:
+            self._records.append(record)
 
     def records(self) -> list[QueryRecord]:
         """All records in processing order."""
-        return list(self._records)
+        with self._lock:
+            return list(self._records)
 
     def __len__(self) -> int:
         return len(self._records)
 
+    def __bool__(self) -> bool:
+        """A manager is always truthy, even while it holds no records.
+
+        Callers can therefore write ``statistics or StatisticsManager()``
+        without accidentally discarding an empty (but shared) manager.
+        """
+        return True
+
     def reset(self) -> None:
         """Drop every record (e.g. between benchmark phases)."""
-        self._records.clear()
+        with self._lock:
+            self._records.clear()
 
     # ------------------------------------------------------------------ #
     # aggregates
     # ------------------------------------------------------------------ #
     def aggregate(self) -> AggregateStatistics:
         """Compute the aggregate statistics over every recorded query."""
-        aggregate = AggregateStatistics(num_queries=len(self._records))
-        if not self._records:
+        records = self.records()
+        aggregate = AggregateStatistics(num_queries=len(records))
+        if not records:
             return aggregate
-        for record in self._records:
+        for record in records:
             if record.any_hit:
                 aggregate.num_hits += 1
             if record.exact_hit:
@@ -126,6 +148,31 @@ class StatisticsManager:
             aggregate.time_speedup = aggregate.total_baseline_seconds / aggregate.total_seconds
         return aggregate
 
+    def stage_breakdown(self) -> list[dict[str, float]]:
+        """Per-pipeline-stage latency summary over every recorded query.
+
+        One row per stage (in first-seen order): total and mean seconds plus
+        the stage's share of the summed stage time — the view the developer
+        dashboard and the CLI print to show where query time goes.
+        """
+        records = self.records()
+        totals: dict[str, float] = {}
+        counts: dict[str, int] = {}
+        for record in records:
+            for stage, seconds in record.stage_seconds.items():
+                totals[stage] = totals.get(stage, 0.0) + seconds
+                counts[stage] = counts.get(stage, 0) + 1
+        grand_total = sum(totals.values())
+        return [
+            {
+                "stage": stage,
+                "total_seconds": totals[stage],
+                "mean_seconds": totals[stage] / counts[stage],
+                "share": (totals[stage] / grand_total) if grand_total > 0 else 0.0,
+            }
+            for stage in totals
+        ]
+
     def window_summaries(self, window_size: int) -> list[dict[str, float]]:
         """Aggregate the records in consecutive windows of ``window_size`` queries.
 
@@ -135,9 +182,10 @@ class StatisticsManager:
         """
         if window_size < 1:
             raise ValueError("window_size must be at least 1")
+        records = self.records()
         summaries: list[dict[str, float]] = []
-        for start in range(0, len(self._records), window_size):
-            chunk = self._records[start:start + window_size]
+        for start in range(0, len(records), window_size):
+            chunk = records[start:start + window_size]
             hits = sum(1 for record in chunk if record.any_hit)
             baseline = sum(record.baseline_tests for record in chunk)
             actual = sum(record.dataset_tests for record in chunk)
@@ -154,18 +202,34 @@ class StatisticsManager:
             )
         return summaries
 
-    def per_query_hit_percentages(self, cache_sizes: list[int] | None = None) -> list[float]:
+    def per_record_hit_percentages(self) -> list[float]:
         """Hit percentage per query, as the Workload Run dashboard shows it.
 
         The paper defines it as "the number of cache-hits over the number of
-        cached graphs"; ``cache_sizes`` supplies the cache population at the
-        time of each query (defaults to 1 to avoid division by zero).
+        cached graphs"; each record carries the cache population it observed
+        (``cache_population``, defaulting to 1 to avoid division by zero), so
+        one snapshot of the records drives both numerator and denominator and
+        the result stays consistent under concurrent completion order.
         """
         percentages: list[float] = []
-        for position, record in enumerate(self._records):
+        for record in self.records():
             hits = record.sub_hits + record.super_hits + (1 if record.exact_hit else 0)
-            population = 1
-            if cache_sizes is not None and position < len(cache_sizes):
-                population = max(1, cache_sizes[position])
-            percentages.append(100.0 * hits / population)
+            percentages.append(100.0 * hits / max(1, record.cache_population))
         return percentages
+
+    def reorder(self, query_ids: list[int]) -> None:
+        """Reorder the records matching ``query_ids`` into that exact order.
+
+        Used after a concurrent run: records append in *completion* order,
+        which is nondeterministic; reordering them to submission order keeps
+        every per-position view (hit percentages, window summaries) aligned
+        with the run's report list.  Records not in ``query_ids`` keep their
+        position at the front.
+        """
+        positions = {query_id: position for position, query_id in enumerate(query_ids)}
+        with self._lock:
+            batch = [record for record in self._records if record.query_id in positions]
+            rest = [record for record in self._records if record.query_id not in positions]
+            batch.sort(key=lambda record: positions[record.query_id])
+            self._records = rest + batch
+

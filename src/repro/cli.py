@@ -26,6 +26,7 @@ from repro.dashboard import (
     DeveloperMonitor,
     QueryJourney,
     WorkloadRunView,
+    format_table,
     policy_speedup_table,
 )
 from repro.graph import (
@@ -70,6 +71,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="feature size for FTV methods")
     common.add_argument("--cache-capacity", type=int, default=50)
     common.add_argument("--window-size", type=int, default=10)
+    common.add_argument("--workers", type=int, default=1,
+                        help="concurrent query streams (1 = sequential)")
+    common.add_argument("--async-maintenance", action="store_true",
+                        help="run cache admission/replacement on a maintenance thread")
 
     run = subparsers.add_parser("run-workload", parents=[common],
                                 help="run a workload over GC and print the dashboards")
@@ -110,6 +115,8 @@ def _config_from_args(args, policy: str | None = None) -> GCConfig:
         replacement_policy=policy or getattr(args, "policy", "HD"),
         method=args.method,
         method_options=options,
+        max_workers=getattr(args, "workers", 1),
+        async_maintenance=getattr(args, "async_maintenance", False),
     )
 
 
@@ -130,14 +137,27 @@ def cmd_generate_dataset(args) -> int:
 def cmd_run_workload(args) -> int:
     """Run one workload over GC and print the end-user and developer views."""
     dataset = _load_or_generate_dataset(args)
-    system = GraphCacheSystem(dataset, _config_from_args(args))
     workload = WorkloadGenerator(dataset, rng=args.seed + 1).generate(
         args.queries, mix=args.mix, name=args.mix
     )
-    result = run_workload(system, workload)
-    print(WorkloadRunView(result).render_text())
-    print()
-    print(DeveloperMonitor(system).render_text())
+    with GraphCacheSystem(dataset, _config_from_args(args)) as system:
+        result = run_workload(system, workload)
+        print(WorkloadRunView(result).render_text())
+        print()
+        print(DeveloperMonitor(system).render_text())
+        if result.stage_breakdown:
+            print()
+            print("Pipeline stage latency")
+            rows = [
+                {
+                    "stage": row["stage"],
+                    "total_ms": round(row["total_seconds"] * 1000.0, 3),
+                    "mean_ms": round(row["mean_seconds"] * 1000.0, 3),
+                    "share_pct": round(row["share"] * 100.0, 1),
+                }
+                for row in result.stage_breakdown
+            ]
+            print(format_table(rows, columns=["stage", "total_ms", "mean_ms", "share_pct"]))
     return 0
 
 
@@ -156,20 +176,20 @@ def cmd_compare_policies(args) -> int:
 def cmd_journey(args) -> int:
     """Warm a cache and narrate the journey of one related query."""
     dataset = _load_or_generate_dataset(args)
-    system = GraphCacheSystem(dataset, _config_from_args(args))
-    generator = WorkloadGenerator(dataset, rng=args.seed + 1)
-    warmup = generator.generate(args.warm_queries, mix="popular", name="warmup")
-    system.warm_cache(list(warmup))
-    source = max(dataset, key=lambda graph: graph.num_vertices)
-    query = random_connected_subgraph(source, min(args.query_vertices, source.num_vertices),
-                                      rng=args.seed + 2)
-    report = system.run_query(query, "subgraph")
-    journey = QueryJourney(
-        report,
-        dataset_ids=[graph.graph_id for graph in dataset],
-        cache_entry_ids=[entry.entry_id for entry in system.cache.entries()],
-    )
-    print(journey.render_text(columns=20))
+    with GraphCacheSystem(dataset, _config_from_args(args)) as system:
+        generator = WorkloadGenerator(dataset, rng=args.seed + 1)
+        warmup = generator.generate(args.warm_queries, mix="popular", name="warmup")
+        system.warm_cache(list(warmup))
+        source = max(dataset, key=lambda graph: graph.num_vertices)
+        query = random_connected_subgraph(source, min(args.query_vertices, source.num_vertices),
+                                          rng=args.seed + 2)
+        report = system.run_query(query, "subgraph")
+        journey = QueryJourney(
+            report,
+            dataset_ids=[graph.graph_id for graph in dataset],
+            cache_entry_ids=[entry.entry_id for entry in system.cache.entries()],
+        )
+        print(journey.render_text(columns=20))
     return 0
 
 

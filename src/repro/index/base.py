@@ -26,6 +26,19 @@ from repro.query_model import QueryType
 GraphId = int | str
 
 
+def graph_id_sort_key(graph_id: GraphId) -> tuple[int, int | str]:
+    """Stable total order over graph ids, even when int and str ids mix.
+
+    Integer ids sort numerically before string ids (``key=repr`` would order
+    ``10`` before ``2`` and is not reproducible for richer id types), so
+    verification order — and therefore per-candidate timing attribution —
+    is identical across runs.
+    """
+    if isinstance(graph_id, str):
+        return (1, graph_id)
+    return (0, graph_id)
+
+
 class DatasetIndex(abc.ABC):
     """Abstract dataset index."""
 

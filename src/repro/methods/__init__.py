@@ -5,11 +5,13 @@ from repro.methods.ctindex import CTIndexMethod
 from repro.methods.direct import DirectSIMethod
 from repro.methods.grapes import GraphGrepSXMethod, GrapesMethod
 from repro.methods.registry import available_methods, make_method, register_method
+from repro.methods.verifier_pool import ParallelVerifier
 
 __all__ = [
     "MethodM",
     "MethodResult",
     "VerificationOutcome",
+    "ParallelVerifier",
     "DirectSIMethod",
     "GraphGrepSXMethod",
     "GrapesMethod",

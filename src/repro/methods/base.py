@@ -19,7 +19,7 @@ from collections.abc import Iterable, Sequence
 
 from repro.errors import MethodError
 from repro.graph.graph import Graph
-from repro.index.base import DatasetIndex, GraphId
+from repro.index.base import DatasetIndex, GraphId, graph_id_sort_key
 from repro.isomorphism.base import SubgraphMatcher
 from repro.isomorphism.instrumentation import CountingMatcher
 from repro.isomorphism.vf2 import VF2Matcher
@@ -57,14 +57,25 @@ class MethodM(abc.ABC):
     name: str = "abstract"
 
     def __init__(self, verifier: SubgraphMatcher | None = None) -> None:
+        # deferred import: verifier_pool depends on this module's dataclasses
+        from repro.methods.verifier_pool import ParallelVerifier
+
         self.verifier = CountingMatcher(verifier or VF2Matcher())
-        #: Number of worker threads used to verify the candidates of a single
-        #: query (GraphCache's thread resource management).  1 = sequential.
-        #: Mutable so the runtime can configure it after construction.
-        self.verify_threads = 1
+        #: Shared batch verifier (GraphCache's thread resource management);
+        #: candidate sub-iso tests of one query run through its worker pool.
+        self.parallel_verifier = ParallelVerifier(threads=1)
         self._dataset: dict[GraphId, Graph] = {}
         self._graph_order: list[GraphId] = []
         self._built = False
+
+    @property
+    def verify_threads(self) -> int:
+        """Worker threads used to verify one query's candidates (1 = sequential)."""
+        return self.parallel_verifier.threads
+
+    @verify_threads.setter
+    def verify_threads(self, value: int) -> None:
+        self.parallel_verifier.threads = value
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -138,35 +149,17 @@ class MethodM(abc.ABC):
     ) -> VerificationOutcome:
         """Verify every candidate and return the confirmed answers.
 
-        With ``verify_threads > 1`` the sub-iso tests of one query run on a
-        thread pool; results are identical to the sequential path.
+        With ``verify_threads > 1`` the sub-iso tests of one query run on the
+        shared :class:`~repro.methods.verifier_pool.ParallelVerifier` pool;
+        results are identical to the sequential path.
         """
         self._require_built()
         query_type = QueryType.parse(query_type)
         candidate_list = list(candidates)
-        outcome = VerificationOutcome()
-        start = time.perf_counter()
-        if self.verify_threads > 1 and len(candidate_list) > 1:
-            from concurrent.futures import ThreadPoolExecutor
-
-            with ThreadPoolExecutor(max_workers=self.verify_threads) as pool:
-                verdicts = list(
-                    pool.map(
-                        lambda graph_id: (graph_id, self.verify_one(query, graph_id, query_type)),
-                        candidate_list,
-                    )
-                )
-            for graph_id, matched in verdicts:
-                if matched:
-                    outcome.answers.add(graph_id)
-                outcome.num_tests += 1
-        else:
-            for graph_id in candidate_list:
-                if self.verify_one(query, graph_id, query_type):
-                    outcome.answers.add(graph_id)
-                outcome.num_tests += 1
-        outcome.verify_seconds = time.perf_counter() - start
-        return outcome
+        return self.parallel_verifier.verify(
+            candidate_list,
+            lambda graph_id: self.verify_one(query, graph_id, query_type),
+        )
 
     def execute(self, query: Graph, query_type: QueryType | str) -> MethodResult:
         """Classic filter-then-verify execution without any cache."""
@@ -176,7 +169,9 @@ class MethodM(abc.ABC):
         start = time.perf_counter()
         result.candidates = self._filter_candidates(query, query_type)
         result.filter_seconds = time.perf_counter() - start
-        outcome = self.verify_candidates(query, sorted(result.candidates, key=repr), query_type)
+        outcome = self.verify_candidates(
+            query, sorted(result.candidates, key=graph_id_sort_key), query_type
+        )
         result.answer = outcome.answers
         result.num_subiso_tests = outcome.num_tests
         result.verify_seconds = outcome.verify_seconds

@@ -1,0 +1,103 @@
+"""Shared parallel candidate verification (GC's thread resource management).
+
+Every Method M verifies candidate batches the same way: one boolean sub-iso
+test per candidate, answers collected as a set.  :class:`ParallelVerifier`
+centralises that loop — sequential when ``threads == 1``, batched over a
+persistent worker pool otherwise — so methods no longer roll their own
+ad-hoc thread handling and the pool is reused across queries instead of
+being rebuilt per batch.
+
+The verifier is safe to call from many query threads at once (a
+``ThreadPoolExecutor`` accepts submissions from any thread); results are
+identical to the sequential path regardless of thread count.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections.abc import Callable, Sequence
+
+from repro.index.base import GraphId
+from repro.methods.base import VerificationOutcome
+
+
+class ParallelVerifier:
+    """Runs one query's candidate sub-iso tests, optionally on a worker pool."""
+
+    def __init__(self, threads: int = 1) -> None:
+        self._threads = max(1, int(threads))
+        self._pool = None
+        self._pool_lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # configuration
+    # ------------------------------------------------------------------ #
+    @property
+    def threads(self) -> int:
+        """Worker threads used per candidate batch (1 = sequential)."""
+        return self._threads
+
+    @threads.setter
+    def threads(self, value: int) -> None:
+        value = max(1, int(value))
+        if value != self._threads:
+            self._threads = value
+            self.close()
+
+    # ------------------------------------------------------------------ #
+    # verification
+    # ------------------------------------------------------------------ #
+    def verify(
+        self,
+        candidates: Sequence[GraphId],
+        test: Callable[[GraphId], bool],
+    ) -> VerificationOutcome:
+        """Apply ``test`` to every candidate and collect the answers.
+
+        ``test`` is the method's per-candidate sub-iso check (e.g. ``query ⊆
+        G``); it must be thread-safe when ``threads > 1``.
+        """
+        outcome = VerificationOutcome()
+        start = time.perf_counter()
+        if self._threads > 1 and len(candidates) > 1:
+            pool = self._ensure_pool()
+            try:
+                verdicts = list(pool.map(test, candidates))
+            except RuntimeError:
+                if not getattr(pool, "_shutdown", False):
+                    raise  # a genuine error from the test callable itself
+                # the pool was shut down under us (threads reconfigured or
+                # close() raced this batch) — the answers must not be lost.
+                # Candidates already tested on the pool are re-tested here,
+                # so instrumentation tallies may count that batch twice; the
+                # answer set stays exact.
+                verdicts = [test(graph_id) for graph_id in candidates]
+        else:
+            verdicts = [test(graph_id) for graph_id in candidates]
+        for graph_id, matched in zip(candidates, verdicts):
+            if matched:
+                outcome.answers.add(graph_id)
+            outcome.num_tests += 1
+        outcome.verify_seconds = time.perf_counter() - start
+        return outcome
+
+    # ------------------------------------------------------------------ #
+    # pool lifecycle
+    # ------------------------------------------------------------------ #
+    def _ensure_pool(self):
+        with self._pool_lock:
+            if self._pool is None:
+                from concurrent.futures import ThreadPoolExecutor
+
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self._threads, thread_name_prefix="gc-verify"
+                )
+            return self._pool
+
+    def close(self) -> None:
+        """Shut the worker pool down (it is lazily recreated on next use)."""
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=False)
+                self._pool = None

@@ -1,8 +1,20 @@
-"""Query Processing Runtime: configuration, executor, reports and the facade."""
+"""Query Processing Runtime: configuration, pipeline, executor and the facade."""
 
 from repro.query_model import Query, QueryType
 from repro.runtime.config import GCConfig
 from repro.runtime.executor import QueryExecutor
+from repro.runtime.pipeline import (
+    AdmitStage,
+    AssembleStage,
+    ExecutionContext,
+    FilterStage,
+    PipelineStage,
+    ProbeStage,
+    PruneStage,
+    QueryPipeline,
+    VerifyStage,
+    default_stages,
+)
 from repro.runtime.report import QueryReport
 from repro.runtime.system import GraphCacheSystem
 
@@ -13,4 +25,14 @@ __all__ = [
     "QueryExecutor",
     "QueryReport",
     "GraphCacheSystem",
+    "ExecutionContext",
+    "PipelineStage",
+    "QueryPipeline",
+    "FilterStage",
+    "ProbeStage",
+    "PruneStage",
+    "VerifyStage",
+    "AssembleStage",
+    "AdmitStage",
+    "default_stages",
 ]

@@ -44,6 +44,14 @@ class GCConfig:
     #: (GraphCache's thread resource management); 1 means sequential.
     verify_threads: int = 1
 
+    # --- concurrent engine ----------------------------------------------
+    #: Concurrent query streams used by ``run_queries_concurrent`` (and the
+    #: workload runner's concurrent mode); 1 means sequential execution.
+    max_workers: int = 1
+    #: When True, window admission and replacement run on a dedicated cache
+    #: maintenance thread instead of the query critical path.
+    async_maintenance: bool = False
+
     # --- accounting ------------------------------------------------------
     #: When True, each query is *also* executed by plain Method M so that the
     #: reported time speedup is a measurement rather than an estimate.
@@ -73,6 +81,8 @@ class GCConfig:
             raise ConfigurationError("cache_memory_budget_bytes must be positive or None")
         if self.verify_threads < 1:
             raise ConfigurationError("verify_threads must be at least 1")
+        if self.max_workers < 1:
+            raise ConfigurationError("max_workers must be at least 1")
 
     def to_dict(self) -> dict:
         """Serialise the configuration (for reports and experiment logs)."""

@@ -1,30 +1,35 @@
 """Query Processing Runtime: orchestrates Method M and the cache per query.
 
-For each query the executor performs the paper's pipeline (Fig. 3):
+Each query flows through the staged pipeline of
+:mod:`repro.runtime.pipeline` (the paper's Fig. 3 dataflow):
 
-1. run Method M's filter to obtain the candidate set ``C_M``;
-2. probe the cache (exact / sub case / super case hits);
-3. prune ``C_M`` with the hits into ``S``, ``S'`` and ``C``;
-4. verify only ``C`` with sub-iso tests, yielding ``R``;
-5. assemble the answer ``A = R ∪ S``;
-6. credit the contributing cache entries and offer the executed query for
-   admission.
+1. ``FilterStage``   — Method M's filter yields the candidate set ``C_M``;
+2. ``ProbeStage``    — the cache is probed (exact / sub case / super case);
+3. ``PruneStage``    — hits prune ``C_M`` into ``S``, ``S'`` and ``C``;
+4. ``VerifyStage``   — only ``C`` is verified with sub-iso tests → ``R``;
+5. ``AssembleStage`` — the answer ``A = R ∪ S`` is assembled;
+6. ``AdmitStage``    — contributing entries are credited and the executed
+   query is offered for admission.
 
-When the cache is disabled (or empty) steps 2–3 contribute nothing and the
-executor behaves exactly like Method M — the correctness property the test
-suite leans on is that the answers are identical in both modes.
+When the cache is disabled (or empty) the probe/prune stages contribute
+nothing and the executor behaves exactly like Method M — the correctness
+property the test suite leans on is that the answers are identical in both
+modes.  The executor is thread-safe: many queries may run through
+:meth:`execute` concurrently (the cache serialises its own mutations and the
+running-average test cost is guarded here).
 """
 
 from __future__ import annotations
 
-import time
+import threading
 
-from repro.cache.graph_cache import CacheLookup, GraphCache
-from repro.cache.pruner import CandidateSetPruner, PruningResult
+from repro.cache.graph_cache import GraphCache
+from repro.cache.pruner import CandidateSetPruner
 from repro.cache.statistics import QueryRecord, StatisticsManager
 from repro.graph.graph import Graph
 from repro.methods.base import MethodM
 from repro.query_model import Query, QueryType
+from repro.runtime.pipeline import ExecutionContext, PipelineStage, QueryPipeline
 from repro.runtime.report import QueryReport
 
 
@@ -37,98 +42,63 @@ class QueryExecutor:
         cache: GraphCache | None,
         statistics: StatisticsManager | None = None,
         measure_baseline: bool = False,
+        stages: list[PipelineStage] | None = None,
     ) -> None:
         self.method = method
         self.cache = cache
-        # note: "or" would discard an *empty* StatisticsManager (it is falsy)
-        self.statistics = statistics if statistics is not None else StatisticsManager()
+        self.statistics = statistics or StatisticsManager()
         self.measure_baseline = measure_baseline
         self.pruner = CandidateSetPruner()
+        self.pipeline = QueryPipeline(stages)
         #: Running average cost of one dataset sub-iso test (seconds); used to
         #: convert saved tests into saved time when a query runs no tests.
         self._average_test_cost = 0.0
         self._observed_tests = 0
+        self._cost_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
     # public API
     # ------------------------------------------------------------------ #
     def execute(self, query: Query | Graph, query_type: QueryType | str | None = None) -> QueryReport:
-        """Process one query and return its full report."""
+        """Process one query through the pipeline and return its full report."""
         query = self._coerce_query(query, query_type)
-        start = time.perf_counter()
-
-        # 1. Method M filter
-        filter_start = time.perf_counter()
-        method_candidates = self.method.filter_candidates(query.graph, query.query_type)
-        filter_seconds = time.perf_counter() - filter_start
-
-        report = QueryReport(query=query)
-        report.method_candidates = set(method_candidates)
-        report.baseline_tests = len(method_candidates)
-        report.filter_seconds = filter_seconds
-
-        # 2. cache lookup
-        lookup: CacheLookup | None = None
-        if self.cache is not None:
-            clock = self.cache.tick()
-            lookup = self.cache.lookup(query)
-            report.probe_tests = lookup.probe_tests
-            report.probe_seconds = lookup.probe_seconds
-            report.sub_hit_entries = [entry.entry_id for entry in lookup.sub_hits]
-            report.super_hit_entries = [entry.entry_id for entry in lookup.super_hits]
-            if lookup.exact_entry is not None:
-                report.exact_hit_entry = lookup.exact_entry.entry_id
-        else:
-            clock = 0
-
-        # 3. prune with the hits
-        pruning = self._prune(query, report, lookup)
-        report.guaranteed_answers = pruning.guaranteed_answers
-        report.guaranteed_non_answers = pruning.guaranteed_non_answers
-        report.verified_candidates = set(pruning.remaining_candidates)
-
-        # 4. verify what is left
-        outcome = self.method.verify_candidates(
-            query.graph, sorted(pruning.remaining_candidates, key=repr), query.query_type
-        )
-        report.verified_answers = outcome.answers
-        report.dataset_tests = outcome.num_tests
-        report.verify_seconds = outcome.verify_seconds
-
-        # 5. assemble the answer
-        report.answer = set(outcome.answers) | set(pruning.guaranteed_answers)
-
-        report.total_seconds = time.perf_counter() - start
-        self._update_average_cost(outcome.num_tests, outcome.verify_seconds)
-
-        # 6. credit + admission
-        if self.cache is not None and lookup is not None:
-            average_cost = self._per_test_cost(outcome.num_tests, outcome.verify_seconds)
-            self.cache.credit(lookup, pruning.per_hit_savings, average_cost, clock=clock)
-            self.cache.offer(
-                query,
-                report.answer,
-                tests_performed=report.baseline_tests,
-                observed_test_cost=average_cost,
-                clock=clock,
-            )
+        ctx = ExecutionContext(query=query, executor=self, report=QueryReport(query=query))
+        self.pipeline.run(ctx)
 
         # optional measured baseline
         if self.measure_baseline:
             baseline = self.method.execute(query.graph, query.query_type)
-            report.baseline_seconds = baseline.total_seconds
+            ctx.report.baseline_seconds = baseline.total_seconds
         else:
-            report.baseline_seconds = report.filter_seconds + (
-                report.baseline_tests * self._average_test_cost
+            ctx.report.baseline_seconds = ctx.report.filter_seconds + (
+                ctx.report.baseline_tests * self._average_test_cost
             )
 
-        self._record(report)
-        return report
+        self._record(ctx.report)
+        return ctx.report
 
     def execute_baseline(self, query: Query | Graph, query_type: QueryType | str | None = None):
         """Run plain Method M (no cache) for one query — the comparison arm."""
         query = self._coerce_query(query, query_type)
         return self.method.execute(query.graph, query.query_type)
+
+    # ------------------------------------------------------------------ #
+    # test-cost accounting (shared with the pipeline stages)
+    # ------------------------------------------------------------------ #
+    def per_test_cost(self, tests: int, seconds: float) -> float:
+        """Cost of one sub-iso test for this query (falls back to the average)."""
+        if tests > 0:
+            return seconds / tests
+        return self._average_test_cost
+
+    def observe_test_cost(self, tests: int, seconds: float) -> None:
+        """Fold one query's verification cost into the running average."""
+        if tests <= 0:
+            return
+        with self._cost_lock:
+            total = self._average_test_cost * self._observed_tests + seconds
+            self._observed_tests += tests
+            self._average_test_cost = total / self._observed_tests
 
     # ------------------------------------------------------------------ #
     # internals
@@ -139,35 +109,6 @@ class QueryExecutor:
             return query
         return Query(graph=query, query_type=QueryType.parse(query_type or QueryType.SUBGRAPH))
 
-    def _prune(
-        self, query: Query, report: QueryReport, lookup: CacheLookup | None
-    ) -> PruningResult:
-        if lookup is None or not lookup.any_hit:
-            return PruningResult(
-                method_candidates=set(report.method_candidates),
-                remaining_candidates=set(report.method_candidates),
-            )
-        if lookup.exact_entry is not None:
-            return self.pruner.exact_hit_result(report.method_candidates, lookup.exact_entry)
-        return self.pruner.prune(
-            query.query_type,
-            report.method_candidates,
-            lookup.sub_hits,
-            lookup.super_hits,
-        )
-
-    def _per_test_cost(self, tests: int, seconds: float) -> float:
-        if tests > 0:
-            return seconds / tests
-        return self._average_test_cost
-
-    def _update_average_cost(self, tests: int, seconds: float) -> None:
-        if tests <= 0:
-            return
-        total = self._average_test_cost * self._observed_tests + seconds
-        self._observed_tests += tests
-        self._average_test_cost = total / self._observed_tests
-
     def _record(self, report: QueryReport) -> None:
         record = QueryRecord(
             query_id=report.query.query_id,
@@ -177,6 +118,7 @@ class QueryExecutor:
             exact_hit=report.exact_hit_entry is not None,
             sub_hits=len(report.sub_hit_entries),
             super_hits=len(report.super_hit_entries),
+            cache_population=report.cache_population,
             method_candidates=len(report.method_candidates),
             guaranteed_answers=len(report.guaranteed_answers),
             guaranteed_non_answers=len(report.guaranteed_non_answers),
@@ -190,5 +132,6 @@ class QueryExecutor:
             total_seconds=report.total_seconds,
             baseline_tests=report.baseline_tests,
             baseline_seconds=report.baseline_seconds,
+            stage_seconds=dict(report.stage_seconds),
         )
         self.statistics.record(record)

@@ -1,0 +1,268 @@
+"""The staged query pipeline: GC's per-query dataflow as explicit stages.
+
+The paper's Fig. 3 pipeline (filter → probe → prune → verify → assemble →
+admit) used to live inline in ``QueryExecutor.execute``.  Here each step is a
+first-class :class:`PipelineStage` operating on a shared
+:class:`ExecutionContext`, so stages are individually instrumentable (the
+pipeline records per-stage wall-clock latency into the query report),
+reorderable and pluggable (a deployment can insert, replace or drop stages).
+
+The default stage order reproduces the executor's original semantics exactly:
+
+``FilterStage``   — Method M's filter produces the candidate set ``C_M``;
+``ProbeStage``    — the cache is probed for exact/sub/super hits;
+``PruneStage``    — hits prune ``C_M`` into ``S``, ``S'`` and ``C``;
+``VerifyStage``   — the surviving candidates ``C`` are sub-iso tested;
+``AssembleStage`` — the answer ``A = R ∪ S`` is assembled and timed;
+``AdmitStage``    — contributing entries are credited and the executed query
+                    is offered for admission (synchronously, or via the
+                    asynchronous maintenance worker).
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass, field
+from collections.abc import Sequence
+from typing import TYPE_CHECKING
+
+from repro.cache.graph_cache import CacheLookup
+from repro.cache.pruner import PruningResult
+from repro.index.base import graph_id_sort_key
+from repro.methods.base import VerificationOutcome
+from repro.query_model import Query
+from repro.runtime.report import QueryReport
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.executor import QueryExecutor
+
+
+@dataclass
+class ExecutionContext:
+    """Everything one query accumulates while flowing through the pipeline."""
+
+    query: Query
+    executor: "QueryExecutor"
+    report: QueryReport
+    #: ``time.perf_counter()`` at pipeline entry (set by the pipeline).
+    started_at: float = 0.0
+    #: Cache logical clock observed by this query (0 when cache disabled).
+    clock: int = 0
+    lookup: CacheLookup | None = None
+    pruning: PruningResult | None = None
+    outcome: VerificationOutcome = field(default_factory=VerificationOutcome)
+
+    @property
+    def cache(self):
+        """The cache the executing system runs with (may be ``None``)."""
+        return self.executor.cache
+
+    @property
+    def method(self):
+        """The Method M the executing system wraps."""
+        return self.executor.method
+
+
+class PipelineStage(abc.ABC):
+    """One step of the query pipeline.
+
+    Stages must be stateless with respect to individual queries (all
+    per-query state lives in the :class:`ExecutionContext`) so one stage
+    instance can serve many concurrent queries.
+    """
+
+    #: Stage name used for per-stage latency attribution.
+    name: str = "stage"
+
+    @abc.abstractmethod
+    def run(self, ctx: ExecutionContext) -> None:
+        """Advance the context through this stage."""
+
+
+class FilterStage(PipelineStage):
+    """Run Method M's filter to obtain the candidate set ``C_M``."""
+
+    name = "filter"
+
+    def run(self, ctx: ExecutionContext) -> None:
+        filter_start = time.perf_counter()
+        candidates = ctx.method.filter_candidates(ctx.query.graph, ctx.query.query_type)
+        ctx.report.filter_seconds = time.perf_counter() - filter_start
+        ctx.report.method_candidates = set(candidates)
+        ctx.report.baseline_tests = len(candidates)
+
+
+class ProbeStage(PipelineStage):
+    """Probe the cache for exact, sub-case and super-case hits."""
+
+    name = "probe"
+
+    def run(self, ctx: ExecutionContext) -> None:
+        if ctx.cache is None:
+            ctx.clock = 0
+            return
+        ctx.report.cache_population = len(ctx.cache)
+        ctx.clock = ctx.cache.tick()
+        lookup = ctx.cache.lookup(ctx.query)
+        ctx.lookup = lookup
+        ctx.report.probe_tests = lookup.probe_tests
+        ctx.report.probe_seconds = lookup.probe_seconds
+        ctx.report.sub_hit_entries = [entry.entry_id for entry in lookup.sub_hits]
+        ctx.report.super_hit_entries = [entry.entry_id for entry in lookup.super_hits]
+        if lookup.exact_entry is not None:
+            ctx.report.exact_hit_entry = lookup.exact_entry.entry_id
+
+
+class PruneStage(PipelineStage):
+    """Prune ``C_M`` with the hits into ``S``, ``S'`` and ``C``."""
+
+    name = "prune"
+
+    def run(self, ctx: ExecutionContext) -> None:
+        report, lookup = ctx.report, ctx.lookup
+        if lookup is None or not lookup.any_hit:
+            pruning = PruningResult(
+                method_candidates=set(report.method_candidates),
+                remaining_candidates=set(report.method_candidates),
+            )
+        elif lookup.exact_entry is not None:
+            pruning = ctx.executor.pruner.exact_hit_result(
+                report.method_candidates, lookup.exact_entry
+            )
+        else:
+            pruning = ctx.executor.pruner.prune(
+                ctx.query.query_type,
+                report.method_candidates,
+                lookup.sub_hits,
+                lookup.super_hits,
+            )
+        ctx.pruning = pruning
+        report.guaranteed_answers = pruning.guaranteed_answers
+        report.guaranteed_non_answers = pruning.guaranteed_non_answers
+        report.verified_candidates = set(pruning.remaining_candidates)
+
+
+class VerifyStage(PipelineStage):
+    """Sub-iso test the surviving candidates ``C`` (in stable id order)."""
+
+    name = "verify"
+
+    def run(self, ctx: ExecutionContext) -> None:
+        assert ctx.pruning is not None, "VerifyStage requires PruneStage output"
+        outcome = ctx.method.verify_candidates(
+            ctx.query.graph,
+            sorted(ctx.pruning.remaining_candidates, key=graph_id_sort_key),
+            ctx.query.query_type,
+        )
+        ctx.outcome = outcome
+        ctx.report.verified_answers = outcome.answers
+        ctx.report.dataset_tests = outcome.num_tests
+        ctx.report.verify_seconds = outcome.verify_seconds
+
+
+class AssembleStage(PipelineStage):
+    """Assemble ``A = R ∪ S`` and close the query's timing window."""
+
+    name = "assemble"
+
+    def run(self, ctx: ExecutionContext) -> None:
+        assert ctx.pruning is not None, "AssembleStage requires PruneStage output"
+        ctx.report.answer = set(ctx.outcome.answers) | set(ctx.pruning.guaranteed_answers)
+        ctx.report.total_seconds = time.perf_counter() - ctx.started_at
+        ctx.executor.observe_test_cost(ctx.outcome.num_tests, ctx.outcome.verify_seconds)
+
+
+class AdmitStage(PipelineStage):
+    """Credit contributing entries and offer the executed query for admission."""
+
+    name = "admit"
+
+    def run(self, ctx: ExecutionContext) -> None:
+        if ctx.cache is None or ctx.lookup is None or ctx.pruning is None:
+            return
+        average_cost = ctx.executor.per_test_cost(
+            ctx.outcome.num_tests, ctx.outcome.verify_seconds
+        )
+        ctx.cache.credit(ctx.lookup, ctx.pruning.per_hit_savings, average_cost, clock=ctx.clock)
+        ctx.cache.offer(
+            ctx.query,
+            ctx.report.answer,
+            tests_performed=ctx.report.baseline_tests,
+            observed_test_cost=average_cost,
+            clock=ctx.clock,
+        )
+
+
+def default_stages() -> list[PipelineStage]:
+    """The canonical Fig. 3 stage order."""
+    return [
+        FilterStage(),
+        ProbeStage(),
+        PruneStage(),
+        VerifyStage(),
+        AssembleStage(),
+        AdmitStage(),
+    ]
+
+
+class QueryPipeline:
+    """An ordered sequence of stages with per-stage latency instrumentation."""
+
+    def __init__(self, stages: Sequence[PipelineStage] | None = None) -> None:
+        self.stages: list[PipelineStage] = list(stages) if stages is not None else default_stages()
+
+    def stage_names(self) -> list[str]:
+        """Names of the stages in execution order."""
+        return [stage.name for stage in self.stages]
+
+    def run(self, ctx: ExecutionContext) -> QueryReport:
+        """Flow one context through every stage, timing each."""
+        ctx.started_at = time.perf_counter()
+        for stage in self.stages:
+            stage_start = time.perf_counter()
+            stage.run(ctx)
+            ctx.report.stage_seconds[stage.name] = time.perf_counter() - stage_start
+        return ctx.report
+
+    # ------------------------------------------------------------------ #
+    # pluggability
+    # ------------------------------------------------------------------ #
+    def _index_of(self, name: str) -> int:
+        for position, stage in enumerate(self.stages):
+            if stage.name == name:
+                return position
+        raise KeyError(f"no stage named {name!r} in pipeline {self.stage_names()}")
+
+    def insert_before(self, name: str, stage: PipelineStage) -> None:
+        """Insert ``stage`` immediately before the stage called ``name``."""
+        self.stages.insert(self._index_of(name), stage)
+
+    def insert_after(self, name: str, stage: PipelineStage) -> None:
+        """Insert ``stage`` immediately after the stage called ``name``."""
+        self.stages.insert(self._index_of(name) + 1, stage)
+
+    def replace(self, name: str, stage: PipelineStage) -> PipelineStage:
+        """Swap out the stage called ``name``; returns the replaced stage."""
+        position = self._index_of(name)
+        replaced = self.stages[position]
+        self.stages[position] = stage
+        return replaced
+
+    def remove(self, name: str) -> PipelineStage:
+        """Remove and return the stage called ``name``."""
+        return self.stages.pop(self._index_of(name))
+
+
+__all__ = [
+    "ExecutionContext",
+    "PipelineStage",
+    "FilterStage",
+    "ProbeStage",
+    "PruneStage",
+    "VerifyStage",
+    "AssembleStage",
+    "AdmitStage",
+    "QueryPipeline",
+    "default_stages",
+]

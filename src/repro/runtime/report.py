@@ -36,6 +36,8 @@ class QueryReport:
     verified_candidates: set[GraphId] = field(default_factory=set)    # C
     verified_answers: set[GraphId] = field(default_factory=set)       # R
     answer: set[GraphId] = field(default_factory=set)                 # A
+    #: Cache population observed just before this query (hit-% denominator).
+    cache_population: int = 0
     # costs
     dataset_tests: int = 0
     probe_tests: int = 0
@@ -45,6 +47,9 @@ class QueryReport:
     total_seconds: float = 0.0
     baseline_tests: int = 0
     baseline_seconds: float | None = None
+    #: Wall-clock seconds spent in each pipeline stage, in execution order
+    #: (filter → probe → prune → verify → assemble → admit by default).
+    stage_seconds: dict[str, float] = field(default_factory=dict)
 
     @property
     def tests_saved(self) -> int:
@@ -80,4 +85,5 @@ class QueryReport:
             "R": sorted(self.verified_answers, key=repr),
             "A": sorted(self.answer, key=repr),
             "test_speedup": self.test_speedup,
+            "stage_seconds": dict(self.stage_seconds),
         }

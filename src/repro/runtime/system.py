@@ -9,6 +9,7 @@ small API: run queries, inspect statistics, measure memory overheads.
 from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
+from concurrent.futures import ThreadPoolExecutor
 
 from repro.cache.graph_cache import GraphCache
 from repro.cache.statistics import AggregateStatistics, QueryRecord, StatisticsManager
@@ -62,6 +63,7 @@ class GraphCacheSystem:
                 enable_sub_case=self.config.enable_sub_case,
                 enable_super_case=self.config.enable_super_case,
                 memory_budget_bytes=self.config.cache_memory_budget_bytes,
+                async_maintenance=self.config.async_maintenance,
             )
 
         self.statistics = StatisticsManager()
@@ -71,8 +73,21 @@ class GraphCacheSystem:
             statistics=self.statistics,
             measure_baseline=self.config.measure_baseline,
         )
-        #: Cache population observed just before each query (hit-% denominators).
-        self._population_trace: list[int] = []
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Release background resources (maintenance worker, verify pool)."""
+        if self.cache is not None:
+            self.cache.close()
+        self.method.parallel_verifier.close()
+
+    def __enter__(self) -> "GraphCacheSystem":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------ #
     # query execution
@@ -81,7 +96,6 @@ class GraphCacheSystem:
         self, query: Query | Graph, query_type: QueryType | str = QueryType.SUBGRAPH
     ) -> QueryReport:
         """Process one query (a :class:`Query` or a bare pattern graph)."""
-        self._population_trace.append(len(self.cache) if self.cache is not None else 0)
         return self.executor.execute(query, query_type)
 
     def run_queries(
@@ -91,6 +105,46 @@ class GraphCacheSystem:
     ) -> list[QueryReport]:
         """Process many queries in order and return their reports."""
         return [self.run_query(query, query_type) for query in queries]
+
+    def run_queries_concurrent(
+        self,
+        queries: Iterable[Query | Graph],
+        query_type: QueryType | str = QueryType.SUBGRAPH,
+        max_workers: int | None = None,
+    ) -> list[QueryReport]:
+        """Process queries on a thread pool of concurrent query streams.
+
+        Reports are returned in *submission order* regardless of completion
+        order, so downstream comparisons are deterministic.  Answer sets are
+        identical to sequential execution: the cache only ever prunes
+        candidates it can guarantee, whatever interleaving occurs.  With
+        async maintenance enabled, pending admissions are drained before
+        returning so the cache state is settled.
+
+        ``max_workers`` defaults to ``config.max_workers``; a value of 1
+        falls back to plain sequential :meth:`run_queries`.
+        """
+        workers = self.config.max_workers if max_workers is None else max_workers
+        if workers < 1:
+            raise ConfigurationError("max_workers must be at least 1")
+        query_list = list(queries)
+        if workers == 1 or len(query_list) <= 1:
+            reports = self.run_queries(query_list, query_type)
+        else:
+            reports = [None] * len(query_list)  # type: ignore[list-item]
+            with ThreadPoolExecutor(max_workers=workers, thread_name_prefix="gc-query") as pool:
+                futures = {
+                    pool.submit(self.run_query, query, query_type): position
+                    for position, query in enumerate(query_list)
+                }
+                for future, position in futures.items():
+                    reports[position] = future.result()
+            # statistics records appended in completion order — restore
+            # submission order so per-position views line up with `reports`
+            self.statistics.reorder([report.query.query_id for report in reports])
+        if self.cache is not None:
+            self.cache.drain_maintenance()
+        return reports
 
     def warm_cache(
         self,
@@ -110,7 +164,6 @@ class GraphCacheSystem:
             self.cache.flush_window()
         if reset_statistics:
             self.statistics.reset()
-            self._population_trace.clear()
 
     # ------------------------------------------------------------------ #
     # reporting
@@ -123,9 +176,18 @@ class GraphCacheSystem:
         """Per-query statistic records."""
         return self.statistics.records()
 
+    def stage_breakdown(self) -> list[dict[str, float]]:
+        """Per-pipeline-stage latency summary over every query so far."""
+        return self.statistics.stage_breakdown()
+
     def hit_percentages(self) -> list[float]:
-        """Per-query hit percentage (hits / cached graphs), as in Fig. 2(b)."""
-        return self.statistics.per_query_hit_percentages(self._population_trace)
+        """Per-query hit percentage (hits / cached graphs), as in Fig. 2(b).
+
+        The cache population each query saw is carried on its own record, so
+        the denominators stay aligned even when queries complete out of
+        submission order under concurrent execution.
+        """
+        return self.statistics.per_record_hit_percentages()
 
     def cache_memory_bytes(self) -> int:
         """Approximate memory used by the cache (0 when disabled)."""

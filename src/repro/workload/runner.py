@@ -34,6 +34,10 @@ class WorkloadRunResult:
     evicted_entry_ids: list[int] = field(default_factory=list)
     cache_memory_bytes: int = 0
     index_memory_bytes: int = 0
+    #: Concurrent query streams the workload ran with (1 = sequential).
+    max_workers: int = 1
+    #: Per-pipeline-stage latency rows (stage, total/mean seconds, share).
+    stage_breakdown: list[dict[str, float]] = field(default_factory=list)
 
     @property
     def test_speedup(self) -> float:
@@ -58,14 +62,27 @@ class WorkloadRunResult:
             "dataset_tests": self.aggregate.total_dataset_tests,
             "baseline_tests": self.aggregate.total_baseline_tests,
             "probe_tests": self.aggregate.total_probe_tests,
+            "max_workers": self.max_workers,
         }
 
 
-def run_workload(system: GraphCacheSystem, workload: Workload) -> WorkloadRunResult:
-    """Run every query of ``workload`` through ``system`` and summarise."""
-    reports = [system.run_query(query) for query in workload]
+def run_workload(
+    system: GraphCacheSystem, workload: Workload, max_workers: int | None = None
+) -> WorkloadRunResult:
+    """Run every query of ``workload`` through ``system`` and summarise.
+
+    ``max_workers`` (default: the system's ``config.max_workers``) selects
+    the number of concurrent query streams; reports keep workload order
+    either way.
+    """
+    workers = system.config.max_workers if max_workers is None else max_workers
+    if workers > 1:
+        reports = system.run_queries_concurrent(list(workload), max_workers=workers)
+    else:
+        reports = [system.run_query(query) for query in workload]
     evicted: list[int] = []
     if system.cache is not None:
+        system.cache.drain_maintenance()
         for report in system.cache.eviction_reports():
             evicted.extend(report.evicted)
     return WorkloadRunResult(
@@ -78,6 +95,8 @@ def run_workload(system: GraphCacheSystem, workload: Workload) -> WorkloadRunRes
         evicted_entry_ids=evicted,
         cache_memory_bytes=system.cache_memory_bytes(),
         index_memory_bytes=system.index_memory_bytes(),
+        max_workers=workers,
+        stage_breakdown=system.stage_breakdown(),
     )
 
 
@@ -91,10 +110,10 @@ def run_with_policy(
     """Build a fresh system with ``policy`` and run the workload on it."""
     base = config.to_dict() if config is not None else GCConfig().to_dict()
     base["replacement_policy"] = policy
-    system = GraphCacheSystem(dataset, GCConfig.from_dict(base))
-    if warmup is not None:
-        system.warm_cache(list(warmup))
-    return run_workload(system, workload)
+    with GraphCacheSystem(dataset, GCConfig.from_dict(base)) as system:
+        if warmup is not None:
+            system.warm_cache(list(warmup))
+        return run_workload(system, workload)
 
 
 def compare_policies(
@@ -132,7 +151,7 @@ def compare_methods(
             cfg = GCConfig.from_dict(payload)
             verifier = make_matcher(cfg.verifier)
             method = make_method(method_name, verifier=verifier, **cfg.method_options)
-            system = GraphCacheSystem(dataset, cfg, method=method)
-            per_method[label] = run_workload(system, workload)
+            with GraphCacheSystem(dataset, cfg, method=method) as system:
+                per_method[label] = run_workload(system, workload)
         results[method_name] = per_method
     return results

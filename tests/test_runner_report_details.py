@@ -84,12 +84,13 @@ class TestStatisticsEdgeCases:
         records.append("sentinel")
         assert len(manager.records()) == 1
 
-    def test_hit_percentage_with_short_population_trace(self):
+    def test_hit_percentage_population_rides_on_records(self):
         manager = StatisticsManager()
-        manager.record(QueryRecord(query_id=1, query_type=QueryType.SUBGRAPH, sub_hits=1))
+        manager.record(QueryRecord(query_id=1, query_type=QueryType.SUBGRAPH,
+                                   sub_hits=1, cache_population=4))
+        # a record that never observed a population falls back to denominator 1
         manager.record(QueryRecord(query_id=2, query_type=QueryType.SUBGRAPH, sub_hits=1))
-        # only one population value supplied for two records
-        percentages = manager.per_query_hit_percentages([4])
+        percentages = manager.per_record_hit_percentages()
         assert percentages[0] == pytest.approx(25.0)
         assert percentages[1] == pytest.approx(100.0)
 

@@ -65,6 +65,7 @@ def record(
     exact: bool = False,
     total_seconds: float = 0.01,
     baseline_seconds: float | None = 0.02,
+    cache_population: int = 0,
 ) -> QueryRecord:
     return QueryRecord(
         query_id=query_id,
@@ -76,6 +77,7 @@ def record(
         exact_hit=exact,
         total_seconds=total_seconds,
         baseline_seconds=baseline_seconds,
+        cache_population=cache_population,
     )
 
 
@@ -121,16 +123,16 @@ class TestStatisticsManager:
 
     def test_hit_percentages(self):
         manager = StatisticsManager()
-        manager.record(record(1, sub_hits=2, super_hits=1))
-        manager.record(record(2, sub_hits=0, super_hits=0))
-        percentages = manager.per_query_hit_percentages([10, 10])
+        manager.record(record(1, sub_hits=2, super_hits=1, cache_population=10))
+        manager.record(record(2, sub_hits=0, super_hits=0, cache_population=10))
+        percentages = manager.per_record_hit_percentages()
         assert percentages[0] == pytest.approx(30.0)
         assert percentages[1] == 0.0
 
     def test_hit_percentages_without_population(self):
         manager = StatisticsManager()
-        manager.record(record(1, sub_hits=2))
-        assert manager.per_query_hit_percentages()[0] == pytest.approx(200.0)
+        manager.record(record(1, sub_hits=2))  # population 0 -> denominator 1
+        assert manager.per_record_hit_percentages()[0] == pytest.approx(200.0)
 
     def test_reset(self):
         manager = StatisticsManager()
