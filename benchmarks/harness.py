@@ -10,14 +10,52 @@ pytest run (stdout is captured by pytest).
 from __future__ import annotations
 
 import json
+import os
+import time
 from pathlib import Path
 
 from repro.dashboard import format_table
 from repro.graph import molecule_dataset
 from repro.graph.graph import Graph
+from repro.isomorphism.base import MatchResult, SubgraphMatcher
+from repro.isomorphism.vf2 import VF2Matcher
 from repro.workload import Workload, WorkloadGenerator, WorkloadMix
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Environment flag (set by ``run_all.py --smoke``) that asks benchmarks to
+#: shrink their workloads to CI-friendly sizes while keeping the same shape.
+SMOKE_ENV_VAR = "GC_BENCH_SMOKE"
+
+
+def smoke_mode() -> bool:
+    """True when the suite runs in smoke mode (CI perf tracking)."""
+    return os.environ.get(SMOKE_ENV_VAR, "").strip() not in ("", "0", "false")
+
+
+def smoke_scaled(full: int, smoke: int) -> int:
+    """Pick a benchmark size: ``full`` normally, ``smoke`` in smoke mode."""
+    return smoke if smoke_mode() else full
+
+
+class SimulatedLatencyMatcher(SubgraphMatcher):
+    """VF2 plus a fixed per-test latency (verification-bound deployments).
+
+    Models the regime the paper targets — query cost dominated by dataset
+    sub-iso verification, as if dataset graphs were disk/network-resident.
+    That latency is where a deployment actually waits, and it is what both
+    concurrent query streams and server-side batching overlap.
+    """
+
+    name = "vf2+latency"
+
+    def __init__(self, latency_seconds: float) -> None:
+        self._inner = VF2Matcher()
+        self._latency = latency_seconds
+
+    def find_embedding(self, query: Graph, target: Graph) -> MatchResult:
+        time.sleep(self._latency)
+        return self._inner.find_embedding(query, target)
 
 
 def standard_dataset(num_graphs: int = 100, seed: int = 2018,

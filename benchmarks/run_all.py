@@ -12,6 +12,12 @@ Usage (from the repository root)::
 
     PYTHONPATH=src python benchmarks/run_all.py            # everything
     PYTHONPATH=src python benchmarks/run_all.py -k concurrent   # a subset
+    PYTHONPATH=src python benchmarks/run_all.py --smoke    # CI-sized runs
+
+``--smoke`` sets ``GC_BENCH_SMOKE=1`` for the benchmark processes: modules
+that opt in (via :func:`benchmarks.harness.smoke_scaled`) shrink their
+workloads to CI-friendly sizes while keeping the same scenario shape, so CI
+can track the perf trajectory on every push without multi-minute runs.
 """
 
 from __future__ import annotations
@@ -28,7 +34,7 @@ REPO_ROOT = BENCH_DIR.parent
 RESULTS_DIR = BENCH_DIR / "results"
 
 
-def run_benchmarks(extra_args: list[str]) -> int:
+def run_benchmarks(extra_args: list[str], smoke: bool = False) -> int:
     """Run the benchmark pytest modules; returns the pytest exit code."""
     env_path = str(REPO_ROOT / "src")
     import os
@@ -37,12 +43,14 @@ def run_benchmarks(extra_args: list[str]) -> int:
     env["PYTHONPATH"] = env_path + (
         os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
     )
+    if smoke:
+        env["GC_BENCH_SMOKE"] = "1"
     command = [sys.executable, "-m", "pytest", str(BENCH_DIR), "-q", *extra_args]
-    print("$", " ".join(command))
+    print("$", " ".join(command), "(smoke mode)" if smoke else "")
     return subprocess.call(command, cwd=REPO_ROOT, env=env)
 
 
-def collate(exit_code: int) -> Path:
+def collate(exit_code: int, smoke: bool = False) -> Path:
     """Gather every result file into one BENCH_all.json manifest."""
     machine_results = {}
     for path in sorted(RESULTS_DIR.glob("BENCH_*.json")):
@@ -54,6 +62,7 @@ def collate(exit_code: int) -> Path:
             machine_results[path.stem] = {"error": "unreadable JSON"}
     manifest = {
         "exit_code": exit_code,
+        "smoke_mode": smoke,
         "python": platform.python_version(),
         "platform": platform.platform(),
         "text_reports": sorted(
@@ -71,6 +80,8 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("-k", dest="keyword", default=None,
                         help="only run benchmarks matching this pytest -k expression")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized runs: benchmarks shrink their workloads")
     parser.add_argument("pytest_args", nargs="*",
                         help="extra arguments passed through to pytest")
     args = parser.parse_args(argv)
@@ -78,8 +89,8 @@ def main(argv: list[str] | None = None) -> int:
     extra = list(args.pytest_args)
     if args.keyword:
         extra += ["-k", args.keyword]
-    exit_code = run_benchmarks(extra)
-    manifest = collate(exit_code)
+    exit_code = run_benchmarks(extra, smoke=args.smoke)
+    manifest = collate(exit_code, smoke=args.smoke)
     print(f"wrote {manifest}")
     return exit_code
 

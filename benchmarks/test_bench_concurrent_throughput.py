@@ -19,14 +19,16 @@ import time
 
 import pytest
 
-from repro.graph.graph import Graph
-from repro.isomorphism.base import MatchResult, SubgraphMatcher
-from repro.isomorphism.vf2 import VF2Matcher
 from repro.methods import DirectSIMethod
 from repro.runtime import GCConfig, GraphCacheSystem
 from repro.workload import WorkloadGenerator, WorkloadMix
 
-from benchmarks.harness import rows_to_report, standard_dataset, write_json_report, write_report
+from benchmarks.harness import (
+    SimulatedLatencyMatcher,
+    rows_to_report,
+    standard_dataset,
+    write_json_report,
+)
 
 WORKER_COUNTS = [1, 2, 4, 8]
 NUM_QUERIES = 36
@@ -34,20 +36,6 @@ DATASET_SIZE = 40
 #: Simulated per-test verification latency (seconds) — the "hardware" cost of
 #: fetching + testing one dataset graph in the verification-bound regime.
 TEST_LATENCY = 0.00035
-
-
-class SimulatedLatencyMatcher(SubgraphMatcher):
-    """VF2 plus a fixed per-test latency (verification-bound deployments)."""
-
-    name = "vf2+latency"
-
-    def __init__(self, latency_seconds: float) -> None:
-        self._inner = VF2Matcher()
-        self._latency = latency_seconds
-
-    def find_embedding(self, query: Graph, target: Graph) -> MatchResult:
-        time.sleep(self._latency)
-        return self._inner.find_embedding(query, target)
 
 
 @pytest.fixture(scope="module")

@@ -1,0 +1,152 @@
+"""S1 — Served throughput: QPS and tail latency vs server batch size.
+
+The headline benchmark for the query serving subsystem: the same
+verification-bound trace is replayed through the HTTP server by a fixed pool
+of closed-loop clients while the server's request batcher coalesces 1, 2, 4
+or 8 queries per concurrent engine batch.  Batching overlaps the simulated
+per-test verification latency (where a real deployment waits on
+disk/network-resident data graphs), so served QPS should scale with batch
+size while answers stay bit-identical to batch-size-1 serving.
+
+An open-loop arm replays the trace at a fixed target QPS against a small
+admission queue to record how backpressure behaves under overload (429 rate
+instead of unbounded queue growth).
+
+Smoke mode (``run_all.py --smoke`` / ``GC_BENCH_SMOKE=1``) shrinks the trace
+for CI perf tracking without changing the scenario's shape.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.methods import DirectSIMethod
+from repro.runtime import GCConfig
+from repro.server import QueryServer
+from repro.workload import QueryServerClient, WorkloadGenerator, WorkloadMix, replay_trace
+
+from benchmarks.harness import (
+    SimulatedLatencyMatcher,
+    rows_to_report,
+    smoke_mode,
+    smoke_scaled,
+    standard_dataset,
+    write_json_report,
+)
+
+BATCH_SIZES = [1, 2, 4, 8]
+CLIENT_THREADS = 8
+#: Per-test simulated verification latency.  Higher than C1's 0.35ms so the
+#: serving path (which adds HTTP + batching CPU overhead on top) remains
+#: firmly verification-bound — the regime batching is designed to exploit.
+TEST_LATENCY = 0.0008
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    dataset = standard_dataset(smoke_scaled(40, 24), seed=91,
+                               min_vertices=10, max_vertices=20)
+    # fresh-heavy mix => few cache hits => nearly every candidate is verified
+    mix = WorkloadMix(fresh_fraction=0.7, repeat_fraction=0.1,
+                      shrink_fraction=0.1, extend_fraction=0.1,
+                      min_pattern_vertices=5, max_pattern_vertices=8)
+    trace = WorkloadGenerator(dataset, rng=92).generate(
+        smoke_scaled(48, 24), mix=mix, name="verification-bound"
+    )
+    return dataset, trace
+
+
+def serve_trace(dataset, trace, batch_size: int, max_queue_depth: int = 512,
+                target_qps: float | None = None):
+    """One served replay; fresh server + system per configuration."""
+    method = DirectSIMethod(verifier=SimulatedLatencyMatcher(TEST_LATENCY))
+    server = QueryServer(
+        dataset,
+        GCConfig(cache_capacity=20, window_size=5),
+        method=method,
+        max_batch_size=batch_size,
+        max_delay_seconds=0.004,
+        max_queue_depth=max_queue_depth,
+        batch_workers=batch_size,
+    )
+    with server:
+        client = QueryServerClient.for_server(server)
+        result = replay_trace(client, trace, target_qps=target_qps,
+                              num_threads=CLIENT_THREADS)
+        batcher = server.batcher.stats()
+    return result, batcher
+
+
+def test_bench_server_throughput(benchmark, scenario):
+    """Served QPS at batch size 1/2/4/8; answers identical throughout."""
+    dataset, trace = scenario
+
+    rows = []
+    reference_answers = None
+    baseline_qps = None
+    for batch_size in BATCH_SIZES:
+        result, batcher = serve_trace(dataset, trace, batch_size)
+        assert result.served == len(trace), (
+            f"dropped queries at batch={batch_size}: {result.summary()}"
+        )
+        if reference_answers is None:
+            reference_answers = result.answers()
+        assert result.answers() == reference_answers, (
+            f"answers changed at batch={batch_size}"
+        )
+        if batch_size == 1:
+            baseline_qps = result.achieved_qps
+        tails = result.latency_percentiles()
+        rows.append({
+            "batch_size": batch_size,
+            "queries_per_sec": round(result.achieved_qps, 1),
+            "elapsed_seconds": round(result.elapsed_seconds, 4),
+            "p50_ms": round(tails["p50"] * 1000.0, 2),
+            "p95_ms": round(tails["p95"] * 1000.0, 2),
+            "p99_ms": round(tails["p99"] * 1000.0, 2),
+            "mean_batch": round(batcher.mean_batch_size, 2),
+            "speedup_vs_batch_1": round(result.achieved_qps / baseline_qps, 2),
+        })
+
+    # overload arm: offered load far above capacity, tiny admission queue —
+    # backpressure must reject (429) rather than queue without bound
+    overload, _ = serve_trace(dataset, trace, batch_size=2, max_queue_depth=4,
+                              target_qps=2000.0)
+    overload_row = {
+        "served": overload.served,
+        "rejected": overload.rejected,
+        "errors": overload.errors,
+        "rejection_rate": round(overload.rejected / len(trace), 3),
+        "achieved_qps": round(overload.achieved_qps, 1),
+    }
+    assert overload.errors == 0
+    assert overload.served + overload.rejected == len(trace)
+
+    table = rows_to_report(
+        "S1_server_throughput",
+        "S1: Served throughput vs batch size (verification-bound, 8 closed-loop clients)",
+        rows,
+        columns=["batch_size", "queries_per_sec", "elapsed_seconds",
+                 "p50_ms", "p95_ms", "p99_ms", "mean_batch", "speedup_vs_batch_1"],
+    )
+    write_json_report("server_throughput", {
+        "experiment": "S1_server_throughput",
+        "smoke_mode": smoke_mode(),
+        "num_queries": len(trace),
+        "dataset_size": len(dataset),
+        "client_threads": CLIENT_THREADS,
+        "test_latency_seconds": TEST_LATENCY,
+        "rows": rows,
+        "overload": overload_row,
+    })
+    print("\n" + table)
+
+    # acceptance: >=2x served QPS at batch size 4 vs batch size 1
+    four = next(row for row in rows if row["batch_size"] == 4)
+    assert four["speedup_vs_batch_1"] >= 2.0, (
+        f"expected >=2x served QPS at batch=4, got {four['speedup_vs_batch_1']}x"
+    )
+
+    benchmark.pedantic(
+        lambda: serve_trace(dataset, trace, 4), rounds=1, iterations=1
+    )

@@ -15,6 +15,10 @@ The most common entry points:
 [0, 17, 41]
 """
 
+# Defined before the subpackage imports: repro.server reads it while this
+# module is still initialising (repro.workload → replay → server chain).
+__version__ = "1.1.0"
+
 from repro.errors import (
     CacheError,
     ConfigurationError,
@@ -33,17 +37,19 @@ from repro.graph import (
 )
 from repro.query_model import Query, QueryType
 from repro.runtime import GCConfig, GraphCacheSystem, QueryReport
+from repro.server import QueryServer
 from repro.workload import (
+    QueryServerClient,
     Workload,
     WorkloadGenerator,
     WorkloadMix,
     compare_methods,
     compare_policies,
     generate_standard_workloads,
+    generate_trace,
+    replay_trace,
     run_workload,
 )
-
-__version__ = "1.0.0"
 
 __all__ = [
     "__version__",
@@ -75,4 +81,9 @@ __all__ = [
     "run_workload",
     "compare_policies",
     "compare_methods",
+    # serving
+    "QueryServer",
+    "QueryServerClient",
+    "replay_trace",
+    "generate_trace",
 ]

@@ -11,10 +11,30 @@ performance of GC deployed over Method M*; values above 1 are improvements.
 
 from __future__ import annotations
 
+import math
 import threading
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 from repro.query_model import QueryType
+
+
+def json_safe(value):
+    """Recursively replace values JSON cannot carry (inf/nan, enums).
+
+    ``float("inf")`` (a legal speedup when the cache eliminates every
+    dataset test) and ``QueryType`` members both appear in statistics
+    snapshots; JSON has neither, so infinities/NaNs become ``None`` and
+    enums collapse to their ``value``.
+    """
+    if isinstance(value, QueryType):
+        return value.value
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    if isinstance(value, dict):
+        return {key: json_safe(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [json_safe(item) for item in value]
+    return value
 
 
 @dataclass
@@ -60,6 +80,10 @@ class QueryRecord:
     def any_hit(self) -> bool:
         """True when the cache contributed anything to this query."""
         return self.exact_hit or self.sub_hits > 0 or self.super_hits > 0
+
+    def to_dict(self) -> dict:
+        """JSON-safe snapshot of this record (enum → value, inf → None)."""
+        return json_safe(asdict(self))
 
 
 @dataclass
@@ -216,6 +240,24 @@ class StatisticsManager:
             hits = record.sub_hits + record.super_hits + (1 if record.exact_hit else 0)
             percentages.append(100.0 * hits / max(1, record.cache_population))
         return percentages
+
+    def to_dict(self, include_records: bool = False) -> dict:
+        """JSON-safe snapshot of everything the manager knows.
+
+        This is the payload the query server's ``/metrics`` endpoint
+        serialises: the aggregate view, the per-stage latency breakdown and
+        the record count — plus (optionally) every per-query record.  All
+        values survive ``json.dumps`` unchanged: enums are collapsed to their
+        string values and infinite speedups become ``None``.
+        """
+        snapshot: dict = {
+            "num_queries": len(self._records),
+            "aggregate": json_safe(asdict(self.aggregate())),
+            "stage_breakdown": json_safe(self.stage_breakdown()),
+        }
+        if include_records:
+            snapshot["records"] = [record.to_dict() for record in self.records()]
+        return snapshot
 
     def reorder(self, query_ids: list[int]) -> None:
         """Reorder the records matching ``query_ids`` into that exact order.

@@ -9,7 +9,11 @@ equivalent, wrapping the library's public API:
   the Workload Run view plus the developer monitor summary;
 * ``graphcache compare-policies`` — experiment I style policy competition;
 * ``graphcache journey``          — Scenario I, the Query Journey, for one
-  query over a warm cache.
+  query over a warm cache;
+* ``graphcache serve``            — the embedded query server (batching,
+  admission control, ``/metrics``), optionally warm-started from a snapshot;
+* ``graphcache loadgen``          — trace-replay load generation against a
+  running server at a target QPS.
 
 Every command accepts ``--seed`` so runs are reproducible.
 """
@@ -18,6 +22,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from pathlib import Path
 
 from repro import __version__
@@ -41,7 +46,17 @@ from repro.graph import (
 from repro.graph.operations import random_connected_subgraph
 from repro.methods.registry import available_methods
 from repro.runtime import GCConfig, GraphCacheSystem
-from repro.workload import WorkloadGenerator, compare_policies, run_workload
+from repro.server import QueryServer
+from repro.workload import (
+    TRACE_SKEWS,
+    QueryServerClient,
+    Workload,
+    WorkloadGenerator,
+    compare_policies,
+    generate_trace,
+    replay_trace,
+    run_workload,
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -92,6 +107,42 @@ def build_parser() -> argparse.ArgumentParser:
                                     help="the Query Journey for one query over a warm cache")
     journey.add_argument("--warm-queries", type=int, default=50)
     journey.add_argument("--query-vertices", type=int, default=8)
+
+    serve = subparsers.add_parser("serve", parents=[common],
+                                  help="serve graph queries over HTTP (batching + backpressure)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="listen port (0 = ephemeral, printed at startup)")
+    serve.add_argument("--policy", default="HD", choices=available_policies())
+    serve.add_argument("--batch-size", type=int, default=4,
+                       help="max queries coalesced into one concurrent batch")
+    serve.add_argument("--batch-delay-ms", type=float, default=5.0,
+                       help="max wait for stragglers once a batch is open")
+    serve.add_argument("--queue-depth", type=int, default=64,
+                       help="admission queue bound; full queue replies 429")
+    serve.add_argument("--snapshot-path", type=Path, default=None,
+                       help="cache snapshot: restored at startup, saved at shutdown")
+    serve.add_argument("--duration", type=float, default=None,
+                       help="serve for N seconds then drain (default: until Ctrl-C)")
+
+    loadgen = subparsers.add_parser("loadgen", parents=[common],
+                                    help="replay a query trace against a running server")
+    loadgen.add_argument("--host", default="127.0.0.1")
+    loadgen.add_argument("--port", type=int, required=True)
+    loadgen.add_argument("--trace", type=Path, default=None,
+                         help="saved trace (JSON workload) to replay; omitted = generate")
+    loadgen.add_argument("--queries", type=int, default=100,
+                         help="trace length when generating")
+    loadgen.add_argument("--skew", default="zipfian", choices=list(TRACE_SKEWS),
+                         help="popularity skew of the generated trace")
+    loadgen.add_argument("--query-type", default="mixed",
+                         choices=["subgraph", "supergraph", "mixed"])
+    loadgen.add_argument("--save-trace", type=Path, default=None,
+                         help="write the generated trace here before replaying")
+    loadgen.add_argument("--qps", type=float, default=None,
+                         help="open-loop target QPS (default: closed-loop)")
+    loadgen.add_argument("--threads", type=int, default=4,
+                         help="concurrent client connections")
 
     return parser
 
@@ -193,11 +244,68 @@ def cmd_journey(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Run the embedded query server until Ctrl-C (or for --duration)."""
+    dataset = _load_or_generate_dataset(args)
+    server = QueryServer(
+        dataset,
+        _config_from_args(args),
+        host=args.host,
+        port=args.port,
+        max_batch_size=args.batch_size,
+        max_delay_seconds=args.batch_delay_ms / 1000.0,
+        max_queue_depth=args.queue_depth,
+        snapshot_path=args.snapshot_path,
+    )
+    server.start()
+    print(f"serving {len(dataset)} graphs at {server.address} "
+          f"(batch={args.batch_size}, queue={args.queue_depth})")
+    if server.restored_entries:
+        print(f"cache warm-started with {server.restored_entries} entries "
+              f"from {args.snapshot_path}")
+    try:
+        if args.duration is not None:
+            time.sleep(args.duration)
+        else:  # pragma: no cover - interactive mode
+            while True:
+                time.sleep(3600)
+    except KeyboardInterrupt:  # pragma: no cover - interactive mode
+        pass
+    finally:
+        server.stop()
+    batcher = server.batcher.stats()
+    print(f"drained: served={batcher.served} rejected={batcher.rejected} "
+          f"batches={batcher.batches} mean_batch={batcher.mean_batch_size:.2f}")
+    if args.snapshot_path is not None:
+        print(f"cache snapshot saved to {args.snapshot_path}")
+    return 0
+
+
+def cmd_loadgen(args) -> int:
+    """Replay a (loaded or generated) trace against a running server."""
+    if args.trace is not None:
+        trace = Workload.load(args.trace)
+    else:
+        dataset = _load_or_generate_dataset(args)
+        trace = generate_trace(dataset, args.queries, skew=args.skew,
+                               query_type=args.query_type, seed=args.seed + 1)
+        if args.save_trace is not None:
+            trace.save(args.save_trace)
+            print(f"trace saved to {args.save_trace}")
+    client = QueryServerClient(args.host, args.port)
+    client.health()  # fail fast when no server is listening
+    result = replay_trace(client, trace, target_qps=args.qps, num_threads=args.threads)
+    print(format_table([result.summary()]))
+    return 0 if result.errors == 0 else 1
+
+
 _COMMANDS = {
     "generate-dataset": cmd_generate_dataset,
     "run-workload": cmd_run_workload,
     "compare-policies": cmd_compare_policies,
     "journey": cmd_journey,
+    "serve": cmd_serve,
+    "loadgen": cmd_loadgen,
 }
 
 

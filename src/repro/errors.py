@@ -102,3 +102,25 @@ class WorkloadError(GraphCacheError):
 
 class ConfigurationError(GraphCacheError):
     """Invalid configuration supplied to the runtime or its components."""
+
+
+class ServerError(GraphCacheError):
+    """Errors raised by the query serving subsystem."""
+
+
+class AdmissionRejectedError(ServerError):
+    """The server's bounded request queue is full (backpressure; HTTP 429)."""
+
+    def __init__(self, queue_depth: int) -> None:
+        super().__init__(
+            f"request rejected: admission queue is full ({queue_depth} queued)"
+        )
+        self.queue_depth = queue_depth
+
+
+class ServerClosedError(ServerError):
+    """A request arrived while the server/batcher was draining or stopped."""
+
+
+class ProtocolError(ServerError):
+    """A request or response payload violated the JSON wire protocol."""

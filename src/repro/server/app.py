@@ -1,0 +1,243 @@
+"""QueryServer: an embedded HTTP serving boundary over a GraphCacheSystem.
+
+Stdlib only (``http.server`` + ``threading``).  The server owns one shared
+:class:`GraphCacheSystem` — thread-safe cache, staged pipeline, optional
+async maintenance worker — and fronts it with a :class:`RequestBatcher`
+(bounded admission queue + batch coalescing).  Endpoints:
+
+* ``POST /query``  — one JSON graph query; replies with the answer set and
+  per-stage latency.  ``429`` when the admission queue is full, ``400`` on
+  malformed payloads, ``503`` while draining, ``504`` on timeout.
+* ``GET /metrics`` — the :class:`StatisticsManager` snapshot (hit rate,
+  stage breakdown) plus cache population, JSON.
+* ``GET /stats``   — serving-side counters: admission/batching/uptime.
+* ``GET /health``  — liveness probe.
+
+Lifecycle: ``start()`` serves on a background thread; ``stop()`` performs a
+graceful drain (no accepted query is dropped), persists the cache snapshot
+when a ``snapshot_path`` is configured, and closes the system.  A restarted
+server pointed at the same snapshot path starts *warm*.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+
+from repro import __version__
+from repro.cache.persistence import restore_cache, save_cache
+from repro.cache.statistics import json_safe
+from repro.errors import AdmissionRejectedError, ProtocolError, ServerClosedError
+from repro.graph.graph import Graph
+from repro.methods.base import MethodM
+from repro.runtime.config import GCConfig
+from repro.runtime.system import GraphCacheSystem
+from repro.server.batcher import RequestBatcher
+from repro.server.protocol import query_from_payload, report_to_payload
+
+
+class QueryServer:
+    """Embedded graph-query server: batching, backpressure, live metrics."""
+
+    def __init__(
+        self,
+        dataset: list[Graph],
+        config: GCConfig | None = None,
+        method: MethodM | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_batch_size: int = 4,
+        max_delay_seconds: float = 0.005,
+        max_queue_depth: int = 64,
+        batch_workers: int | None = None,
+        snapshot_path: str | Path | None = None,
+        request_timeout_seconds: float = 60.0,
+    ) -> None:
+        self.system = GraphCacheSystem(dataset, config, method=method)
+        try:
+            # bind before spawning the batcher thread or touching the
+            # snapshot: a failed bind (port in use) must not leak either
+            self._httpd = ThreadingHTTPServer((host, port), _make_handler(self))
+        except OSError:
+            self.system.close()
+            raise
+        try:
+            self.snapshot_path = Path(snapshot_path) if snapshot_path is not None else None
+            self.restored_entries = 0
+            if (
+                self.snapshot_path is not None
+                and self.system.cache is not None
+                and self.snapshot_path.exists()
+            ):
+                self.restored_entries = restore_cache(self.system.cache, self.snapshot_path)
+            self.batcher = RequestBatcher(
+                self.system,
+                max_batch_size=max_batch_size,
+                max_delay_seconds=max_delay_seconds,
+                max_queue_depth=max_queue_depth,
+                batch_workers=batch_workers,
+            )
+        except Exception:
+            self._httpd.server_close()
+            self.system.close()
+            raise
+        self.request_timeout_seconds = request_timeout_seconds
+        self._thread: threading.Thread | None = None
+        self._started_at = time.monotonic()
+        self._stopped = False
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def address(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "QueryServer":
+        """Serve on a background thread; returns self for chaining."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                name="gc-query-server",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def stop(self, drain: bool = True) -> None:
+        """Graceful shutdown: drain the batcher, snapshot, close the system."""
+        if self._stopped:
+            return
+        self._stopped = True
+        self.batcher.close(drain=drain)
+        if self.snapshot_path is not None and self.system.cache is not None:
+            self.system.cache.drain_maintenance()
+            save_cache(self.system.cache, self.snapshot_path)
+        self._httpd.shutdown()
+        if self._thread is not None:
+            self._thread.join()
+        self._httpd.server_close()
+        self.system.close()
+
+    def __enter__(self) -> "QueryServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------ #
+    # request handling (HTTP-agnostic: returns status + JSON payload)
+    # ------------------------------------------------------------------ #
+    def serve_query(self, payload: dict) -> tuple[int, dict]:
+        """Admit, batch and execute one query payload."""
+        try:
+            query = query_from_payload(payload)
+        except ProtocolError as exc:
+            return 400, {"error": str(exc)}
+        try:
+            future = self.batcher.submit(query)
+        except AdmissionRejectedError as exc:
+            return 429, {"error": str(exc), "queue_depth": exc.queue_depth}
+        except ServerClosedError as exc:
+            return 503, {"error": str(exc)}
+        try:
+            served = future.result(timeout=self.request_timeout_seconds)
+        except FutureTimeoutError:
+            return 504, {"error": "query timed out in the serving pipeline"}
+        except ServerClosedError as exc:
+            return 503, {"error": str(exc)}
+        except Exception as exc:  # execution error inside the pipeline
+            return 500, {"error": f"{type(exc).__name__}: {exc}"}
+        return 200, report_to_payload(
+            served.report,
+            queue_seconds=served.queue_seconds,
+            batch_size=served.batch_size,
+        )
+
+    def metrics(self) -> dict:
+        """The ``/metrics`` payload: statistics snapshot + cache population."""
+        payload = {
+            "statistics": self.system.statistics.to_dict(),
+            "hit_percentages": json_safe(self.system.hit_percentages()),
+        }
+        if self.system.cache is not None:
+            payload["cache"] = json_safe(self.system.cache.describe())
+        return payload
+
+    def stats(self) -> dict:
+        """The ``/stats`` payload: serving-side counters and identity."""
+        return {
+            "server": {
+                "version": __version__,
+                "address": self.address,
+                "uptime_seconds": round(time.monotonic() - self._started_at, 3),
+                "restored_entries": self.restored_entries,
+                "snapshot_path": str(self.snapshot_path) if self.snapshot_path else None,
+                "draining": self.batcher.closed,
+            },
+            "batcher": self.batcher.stats().to_dict(),
+            "config": json_safe(self.system.config.to_dict()),
+            "dataset_size": len(self.system.dataset),
+        }
+
+
+def _make_handler(server: QueryServer) -> type[BaseHTTPRequestHandler]:
+    """Build the request handler class bound to one :class:`QueryServer`."""
+
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"  # keep-alive: load generators reuse connections
+        server_version = f"GraphCacheServer/{__version__}"
+
+        def do_POST(self) -> None:
+            # always consume the body: keep-alive framing breaks otherwise
+            try:
+                length = int(self.headers.get("Content-Length", "0"))
+                raw = self.rfile.read(length)
+            except ValueError:
+                self._reply(400, {"error": "bad Content-Length header"})
+                return
+            if self.path != "/query":
+                self._reply(404, {"error": f"unknown path {self.path!r}"})
+                return
+            try:
+                payload = json.loads(raw or b"{}")
+            except json.JSONDecodeError as exc:
+                self._reply(400, {"error": f"malformed JSON body: {exc}"})
+                return
+            status, body = server.serve_query(payload)
+            self._reply(status, body)
+
+        def do_GET(self) -> None:
+            if self.path == "/metrics":
+                self._reply(200, server.metrics())
+            elif self.path == "/stats":
+                self._reply(200, server.stats())
+            elif self.path == "/health":
+                self._reply(200, {"status": "ok"})
+            else:
+                self._reply(404, {"error": f"unknown path {self.path!r}"})
+
+        def _reply(self, status: int, payload: dict) -> None:
+            body = json.dumps(payload).encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def log_message(self, format: str, *args) -> None:  # noqa: A002
+            pass  # requests are accounted in BatcherStats, not on stderr
+
+    return Handler

@@ -1,0 +1,235 @@
+"""Request batcher: coalesce queued queries into concurrent engine batches.
+
+The serving hot path of the subsystem.  Incoming queries land in a *bounded*
+admission queue (backpressure: a full queue rejects the request — the HTTP
+layer maps that to 429).  A single dispatcher thread pulls the queue and
+coalesces up to ``max_batch_size`` queries — waiting at most
+``max_delay_seconds`` for stragglers once the first query of a batch is in
+hand — then executes the whole batch through
+:meth:`GraphCacheSystem.run_queries_concurrent`, so one batch of B queries
+overlaps B verification stages instead of serialising them.  Each caller
+holds a :class:`~concurrent.futures.Future` that resolves to a
+:class:`ServedQuery` when its batch completes.
+
+Shutdown is graceful by default: ``close(drain=True)`` stops admission,
+executes everything already queued, and only then joins the dispatcher —
+nothing accepted is ever dropped.  The async ``CacheMaintenanceWorker``
+(when configured) keeps running off this critical path exactly as in
+library use; batches drain it via ``run_queries_concurrent`` itself.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass
+
+from repro.errors import AdmissionRejectedError, ConfigurationError, ServerClosedError
+from repro.query_model import Query
+from repro.runtime.report import QueryReport
+from repro.runtime.system import GraphCacheSystem
+
+_STOP = object()
+
+
+@dataclass
+class ServedQuery:
+    """What a caller's future resolves to: the report plus serving metadata."""
+
+    report: QueryReport
+    #: Seconds the query waited in the admission queue before its batch ran.
+    queue_seconds: float
+    #: Number of queries coalesced into the batch that served this query.
+    batch_size: int
+
+
+@dataclass
+class _Pending:
+    query: Query
+    future: Future
+    enqueued_at: float
+
+
+@dataclass
+class BatcherStats:
+    """Counters the ``/stats`` endpoint exposes (one snapshot per call)."""
+
+    submitted: int = 0
+    rejected: int = 0
+    served: int = 0
+    failed: int = 0
+    batches: int = 0
+    largest_batch: int = 0
+    queue_depth: int = 0
+
+    @property
+    def mean_batch_size(self) -> float:
+        return (self.served + self.failed) / self.batches if self.batches else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "submitted": self.submitted,
+            "rejected": self.rejected,
+            "served": self.served,
+            "failed": self.failed,
+            "batches": self.batches,
+            "largest_batch": self.largest_batch,
+            "mean_batch_size": round(self.mean_batch_size, 3),
+            "queue_depth": self.queue_depth,
+        }
+
+
+class RequestBatcher:
+    """Bounded admission queue + batch dispatcher over one system."""
+
+    def __init__(
+        self,
+        system: GraphCacheSystem,
+        max_batch_size: int = 4,
+        max_delay_seconds: float = 0.005,
+        max_queue_depth: int = 64,
+        batch_workers: int | None = None,
+    ) -> None:
+        if max_batch_size < 1:
+            raise ConfigurationError("max_batch_size must be at least 1")
+        if max_delay_seconds < 0:
+            raise ConfigurationError("max_delay_seconds must be non-negative")
+        if max_queue_depth < 1:
+            raise ConfigurationError("max_queue_depth must be at least 1")
+        if batch_workers is not None and batch_workers < 1:
+            raise ConfigurationError("batch_workers must be at least 1 or None")
+        self.system = system
+        self.max_batch_size = max_batch_size
+        self.max_delay_seconds = max_delay_seconds
+        self.batch_workers = batch_workers or max_batch_size
+        self._queue: queue.Queue = queue.Queue(maxsize=max_queue_depth)
+        self._stats = BatcherStats()
+        self._stats_lock = threading.Lock()
+        #: Serialises the closed-check + enqueue in :meth:`submit` against
+        #: :meth:`close` setting the flag, so the stop marker is strictly the
+        #: last item ever queued and no admitted future can be orphaned.
+        self._admission_lock = threading.Lock()
+        self._closed = False
+        self._drain_on_close = True
+        self._thread = threading.Thread(
+            target=self._run, name="gc-request-batcher", daemon=True
+        )
+        self._thread.start()
+
+    # ------------------------------------------------------------------ #
+    # admission
+    # ------------------------------------------------------------------ #
+    def submit(self, query: Query) -> Future:
+        """Enqueue one query; the future resolves to a :class:`ServedQuery`.
+
+        Raises :class:`AdmissionRejectedError` when the bounded queue is full
+        (backpressure) and :class:`ServerClosedError` once draining started.
+        """
+        pending = _Pending(query=query, future=Future(), enqueued_at=time.monotonic())
+        with self._admission_lock:
+            if self._closed:
+                raise ServerClosedError("batcher is shut down; no new queries accepted")
+            try:
+                self._queue.put_nowait(pending)
+            except queue.Full:
+                with self._stats_lock:
+                    self._stats.rejected += 1
+                raise AdmissionRejectedError(self._queue.maxsize) from None
+        with self._stats_lock:
+            self._stats.submitted += 1
+        return pending.future
+
+    def stats(self) -> BatcherStats:
+        """A point-in-time copy of the serving counters."""
+        with self._stats_lock:
+            snapshot = BatcherStats(**{
+                field: getattr(self._stats, field)
+                for field in ("submitted", "rejected", "served", "failed",
+                              "batches", "largest_batch")
+            })
+        snapshot.queue_depth = self._queue.qsize()
+        return snapshot
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self, drain: bool = True) -> None:
+        """Stop admission; with ``drain`` execute everything queued first."""
+        with self._admission_lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._drain_on_close = drain
+            self._queue.put(_STOP)  # unblocks the dispatcher even when idle
+        self._thread.join()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # ------------------------------------------------------------------ #
+    # dispatcher
+    # ------------------------------------------------------------------ #
+    def _run(self) -> None:
+        stopping = False
+        while not stopping:
+            head = self._queue.get()
+            if head is _STOP:
+                break
+            if self._closed and not self._drain_on_close:
+                # closing without drain: refuse instead of executing (the
+                # stop marker is FIFO-queued behind these, so check the flag)
+                head.future.set_exception(
+                    ServerClosedError("batcher shut down before this query ran")
+                )
+                continue
+            batch = [head]
+            deadline = time.monotonic() + self.max_delay_seconds
+            while len(batch) < self.max_batch_size:
+                remaining = deadline - time.monotonic()
+                try:
+                    item = (
+                        self._queue.get(timeout=remaining)
+                        if remaining > 0
+                        else self._queue.get_nowait()
+                    )
+                except queue.Empty:
+                    break
+                if item is _STOP:
+                    stopping = True
+                    break
+                batch.append(item)
+            self._execute(batch)
+        # the admission lock makes _STOP the last item ever queued, so once
+        # the loop exits (with drain: after executing everything admitted;
+        # without: after refusing it) the queue is empty and we just return
+
+    def _execute(self, batch: list[_Pending]) -> None:
+        started = time.monotonic()
+        try:
+            reports = self.system.run_queries_concurrent(
+                [pending.query for pending in batch],
+                max_workers=min(len(batch), self.batch_workers),
+            )
+        except Exception as exc:  # propagate to every caller in the batch
+            for pending in batch:
+                pending.future.set_exception(exc)
+            with self._stats_lock:
+                self._stats.batches += 1
+                self._stats.failed += len(batch)
+                self._stats.largest_batch = max(self._stats.largest_batch, len(batch))
+            return
+        for pending, report in zip(batch, reports):
+            pending.future.set_result(
+                ServedQuery(
+                    report=report,
+                    queue_seconds=started - pending.enqueued_at,
+                    batch_size=len(batch),
+                )
+            )
+        with self._stats_lock:
+            self._stats.batches += 1
+            self._stats.served += len(batch)
+            self._stats.largest_batch = max(self._stats.largest_batch, len(batch))

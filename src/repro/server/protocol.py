@@ -1,0 +1,101 @@
+"""JSON wire protocol of the query server.
+
+One request = one graph query::
+
+    {"graph": {... Graph.to_dict() ...}, "query_type": "subgraph",
+     "metadata": {...}}
+
+One response = the answer set plus the observability payload the paper's
+demonstrator surfaces per query (hits, per-stage latency, tests saved)::
+
+    {"answer": [...], "query_id": 7, "query_type": "subgraph",
+     "hits": {"exact": false, "sub": 2, "super": 0},
+     "tests": {"dataset": 3, "baseline": 11, "probe": 4},
+     "stage_seconds": {"filter": ..., "probe": ..., ...},
+     "total_seconds": ...,
+     "server": {"queue_seconds": ..., "batch_size": ...}}
+
+Everything is JSON-safe (graph ids may be ints or strings; infinities are
+mapped to ``None`` by :func:`repro.cache.statistics.json_safe`).
+"""
+
+from __future__ import annotations
+
+from repro.cache.statistics import json_safe
+from repro.errors import ProtocolError
+from repro.graph.graph import Graph
+from repro.query_model import Query, QueryType
+from repro.runtime.report import QueryReport
+
+
+def query_to_payload(query: Query) -> dict:
+    """Serialise a query into the request wire format."""
+    return {
+        "graph": query.graph.to_dict(),
+        "query_type": query.query_type.value,
+        "metadata": dict(query.metadata),
+    }
+
+
+def query_from_payload(payload: dict) -> Query:
+    """Parse a request payload into a :class:`Query` (fresh query id)."""
+    if not isinstance(payload, dict):
+        raise ProtocolError(f"request must be a JSON object, got {type(payload).__name__}")
+    if "graph" not in payload:
+        raise ProtocolError("request has no 'graph' field")
+    try:
+        graph = Graph.from_dict(payload["graph"])
+    except Exception as exc:
+        raise ProtocolError(f"malformed 'graph' payload: {exc}") from exc
+    try:
+        query_type = QueryType.parse(payload.get("query_type", "subgraph"))
+    except ValueError as exc:
+        raise ProtocolError(str(exc)) from exc
+    metadata = payload.get("metadata", {})
+    if not isinstance(metadata, dict):
+        raise ProtocolError("'metadata' must be a JSON object")
+    return Query(graph=graph, query_type=query_type, metadata=dict(metadata))
+
+
+def report_to_payload(
+    report: QueryReport,
+    queue_seconds: float | None = None,
+    batch_size: int | None = None,
+) -> dict:
+    """Serialise a query report into the response wire format."""
+    payload = {
+        "answer": sorted(report.answer, key=repr),
+        "query_id": report.query.query_id,
+        "query_type": report.query.query_type.value,
+        "hits": {
+            "exact": report.exact_hit_entry is not None,
+            "sub": len(report.sub_hit_entries),
+            "super": len(report.super_hit_entries),
+        },
+        "tests": {
+            "dataset": report.dataset_tests,
+            "baseline": report.baseline_tests,
+            "probe": report.probe_tests,
+        },
+        "stage_seconds": dict(report.stage_seconds),
+        "total_seconds": report.total_seconds,
+    }
+    server: dict = {}
+    if queue_seconds is not None:
+        server["queue_seconds"] = queue_seconds
+    if batch_size is not None:
+        server["batch_size"] = batch_size
+    if server:
+        payload["server"] = server
+    return json_safe(payload)
+
+
+def answer_from_payload(payload: dict) -> set:
+    """Extract the answer set from a response payload.
+
+    Graph ids survive JSON as-is for the int/str ids the library uses, so
+    the returned set compares equal to an in-process ``report.answer``.
+    """
+    if not isinstance(payload, dict) or "answer" not in payload:
+        raise ProtocolError("response has no 'answer' field")
+    return set(payload["answer"])

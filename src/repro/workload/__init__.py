@@ -1,10 +1,18 @@
-"""Workload model, generators and runners."""
+"""Workload model, generators, runners and server trace replay."""
 
 from repro.workload.generator import (
     STANDARD_MIXES,
     WorkloadGenerator,
     WorkloadMix,
     generate_standard_workloads,
+)
+from repro.workload.replay import (
+    TRACE_SKEWS,
+    QueryServerClient,
+    ReplayEvent,
+    ReplayResult,
+    generate_trace,
+    replay_trace,
 )
 from repro.workload.runner import (
     WorkloadRunResult,
@@ -26,4 +34,10 @@ __all__ = [
     "run_with_policy",
     "compare_policies",
     "compare_methods",
+    "QueryServerClient",
+    "ReplayEvent",
+    "ReplayResult",
+    "replay_trace",
+    "generate_trace",
+    "TRACE_SKEWS",
 ]

@@ -1,0 +1,352 @@
+"""Client and trace-replay load generation for the query server.
+
+Two halves:
+
+* :class:`QueryServerClient` — a stdlib (``http.client``) client speaking the
+  server's JSON protocol, with per-thread keep-alive connections so a load
+  generator doesn't pay a TCP handshake per query.
+* :func:`replay_trace` — replays a recorded trace (a :class:`Workload`, which
+  already JSON round-trips via ``save``/``load``) against a server from
+  ``num_threads`` concurrent clients, either *closed-loop* (send as fast as
+  responses return) or *open-loop* at a target QPS (each query has a fixed
+  send deadline — queue buildup then shows up as latency, the way real
+  traffic behaves).  The result records per-query status/latency so tail
+  percentiles and rejection (429) rates fall out directly.
+
+Trace *generation* reuses the workload generators: :func:`generate_trace`
+maps the three canonical skews the paper's experiments vary — ``uniform``,
+``zipfian``, ``drifting`` — onto :class:`WorkloadMix` settings, and can
+interleave subgraph/supergraph semantics (``query_type="mixed"``).
+Everything is deterministic under a fixed seed.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import math
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import ServerError, WorkloadError
+from repro.graph.graph import Graph
+from repro.query_model import Query, QueryType
+from repro.server.protocol import query_to_payload
+from repro.workload.generator import WorkloadGenerator, WorkloadMix
+from repro.workload.workload import Workload
+
+#: The skew names ``generate_trace`` accepts, mapped to mix settings.
+TRACE_SKEWS = ("uniform", "zipfian", "drifting")
+
+
+class QueryServerClient:
+    """JSON-protocol client with one keep-alive connection per thread."""
+
+    def __init__(self, host: str, port: int, timeout: float = 60.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._local = threading.local()
+
+    @classmethod
+    def for_server(cls, server, timeout: float = 60.0) -> "QueryServerClient":
+        """Client bound to an in-process :class:`QueryServer`."""
+        return cls(server.host, server.port, timeout=timeout)
+
+    # ------------------------------------------------------------------ #
+    # transport
+    # ------------------------------------------------------------------ #
+    def _connection(self) -> http.client.HTTPConnection:
+        connection = getattr(self._local, "connection", None)
+        if connection is None:
+            connection = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+            self._local.connection = connection
+        return connection
+
+    def _request(self, method: str, path: str, body: dict | None = None) -> tuple[int, dict]:
+        payload = json.dumps(body).encode("utf-8") if body is not None else None
+        headers = {"Content-Type": "application/json"} if payload else {}
+        for attempt in (0, 1):
+            connection = self._connection()
+            try:
+                connection.request(method, path, body=payload, headers=headers)
+                response = connection.getresponse()
+                data = response.read()
+                return response.status, json.loads(data) if data else {}
+            except TimeoutError:
+                # the server may still be executing the request: retrying a
+                # POST would run the query twice (double-counted statistics),
+                # so timeouts always propagate
+                self.close()
+                raise
+            except (http.client.HTTPException, ConnectionError, OSError):
+                # stale keep-alive connection (server closed it between
+                # requests, before processing anything): reconnect once
+                self.close()
+                if attempt:
+                    raise
+        raise ServerError("unreachable")  # pragma: no cover - loop always returns
+
+    def close(self) -> None:
+        """Drop this thread's connection (others close on their own threads)."""
+        connection = getattr(self._local, "connection", None)
+        if connection is not None:
+            connection.close()
+            self._local.connection = None
+
+    # ------------------------------------------------------------------ #
+    # protocol
+    # ------------------------------------------------------------------ #
+    def send(self, query: Query) -> tuple[int, dict]:
+        """POST one query; returns ``(http_status, response_payload)``."""
+        return self._request("POST", "/query", query_to_payload(query))
+
+    def run_query(
+        self, query: Query | Graph, query_type: QueryType | str = QueryType.SUBGRAPH
+    ) -> dict:
+        """Execute one query, raising :class:`ServerError` on any non-200."""
+        if not isinstance(query, Query):
+            query = Query(graph=query, query_type=QueryType.parse(query_type))
+        status, payload = self.send(query)
+        if status != 200:
+            raise ServerError(
+                f"server replied {status}: {payload.get('error', payload)}"
+            )
+        return payload
+
+    def metrics(self) -> dict:
+        """The server's ``/metrics`` snapshot."""
+        return self._ok("GET", "/metrics")
+
+    def stats(self) -> dict:
+        """The server's ``/stats`` snapshot."""
+        return self._ok("GET", "/stats")
+
+    def health(self) -> dict:
+        """Liveness probe."""
+        return self._ok("GET", "/health")
+
+    def _ok(self, method: str, path: str) -> dict:
+        status, payload = self._request(method, path)
+        if status != 200:
+            raise ServerError(f"{path} replied {status}: {payload}")
+        return payload
+
+
+# ---------------------------------------------------------------------- #
+# trace replay
+# ---------------------------------------------------------------------- #
+@dataclass
+class ReplayEvent:
+    """Outcome of one replayed query."""
+
+    index: int
+    status: int
+    latency_seconds: float
+    answer: frozenset | None = None
+    batch_size: int | None = None
+    queue_seconds: float | None = None
+    error: str | None = None
+
+
+@dataclass
+class ReplayResult:
+    """Everything one trace replay observed, in trace order."""
+
+    trace_name: str
+    events: list[ReplayEvent] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+    target_qps: float | None = None
+    num_threads: int = 1
+
+    @property
+    def served(self) -> int:
+        return sum(1 for event in self.events if event.status == 200)
+
+    @property
+    def rejected(self) -> int:
+        return sum(1 for event in self.events if event.status == 429)
+
+    @property
+    def errors(self) -> int:
+        return sum(1 for e in self.events if e.status not in (200, 429))
+
+    @property
+    def achieved_qps(self) -> float:
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.served / self.elapsed_seconds
+
+    def answers(self) -> list[frozenset | None]:
+        """Answer set per trace position (``None`` for non-200 responses)."""
+        return [event.answer for event in self.events]
+
+    def latency_percentiles(self, percentiles: tuple[int, ...] = (50, 95, 99)) -> dict[str, float]:
+        """Nearest-rank latency percentiles (seconds) over served queries.
+
+        Nearest-rank: the p-th percentile of n samples is the value at sorted
+        rank ``ceil(p/100 * n)`` (1-based), so p50 of [1, 2, 3, 4] is 2.
+        """
+        latencies = sorted(
+            event.latency_seconds for event in self.events if event.status == 200
+        )
+        if not latencies:
+            return {f"p{p}": 0.0 for p in percentiles}
+        return {
+            f"p{p}": latencies[
+                min(len(latencies), max(1, math.ceil(len(latencies) * p / 100))) - 1
+            ]
+            for p in percentiles
+        }
+
+    def summary(self) -> dict[str, object]:
+        """One-row summary for tables and BENCH reports."""
+        tails = self.latency_percentiles()
+        return {
+            "trace": self.trace_name,
+            "queries": len(self.events),
+            "served": self.served,
+            "rejected": self.rejected,
+            "errors": self.errors,
+            "elapsed_seconds": round(self.elapsed_seconds, 4),
+            "achieved_qps": round(self.achieved_qps, 1),
+            "target_qps": self.target_qps,
+            "num_threads": self.num_threads,
+            "p50_ms": round(tails["p50"] * 1000.0, 3),
+            "p95_ms": round(tails["p95"] * 1000.0, 3),
+            "p99_ms": round(tails["p99"] * 1000.0, 3),
+        }
+
+
+def replay_trace(
+    client: QueryServerClient,
+    trace: Workload,
+    target_qps: float | None = None,
+    num_threads: int = 4,
+) -> ReplayResult:
+    """Replay ``trace`` against the server from concurrent client threads.
+
+    ``target_qps=None`` runs closed-loop (each thread sends its next query as
+    soon as the previous answer returns); a positive value runs open-loop:
+    query *i* is released at ``i / target_qps`` seconds after the start, so a
+    server slower than the offered load accumulates queue delay (and 429s)
+    instead of silently throttling the generator.
+    """
+    if target_qps is not None and target_qps <= 0:
+        raise WorkloadError("target_qps must be positive (or None for closed-loop)")
+    if num_threads < 1:
+        raise WorkloadError("num_threads must be at least 1")
+    queries = list(trace)
+    events: list[ReplayEvent | None] = [None] * len(queries)
+    cursor = iter(range(len(queries)))
+    cursor_lock = threading.Lock()
+    start = time.perf_counter()
+
+    def worker() -> None:
+        while True:
+            with cursor_lock:
+                index = next(cursor, None)
+            if index is None:
+                client.close()
+                return
+            if target_qps is not None:
+                release = start + index / target_qps
+                delay = release - time.perf_counter()
+                if delay > 0:
+                    time.sleep(delay)
+            sent = time.perf_counter()
+            try:
+                status, payload = client.send(queries[index])
+            except Exception as exc:  # transport failure, not a server verdict
+                events[index] = ReplayEvent(
+                    index=index, status=-1,
+                    latency_seconds=time.perf_counter() - sent,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+                continue
+            latency = time.perf_counter() - sent
+            server_meta = payload.get("server", {}) if status == 200 else {}
+            events[index] = ReplayEvent(
+                index=index,
+                status=status,
+                latency_seconds=latency,
+                answer=frozenset(payload["answer"]) if status == 200 else None,
+                batch_size=server_meta.get("batch_size"),
+                queue_seconds=server_meta.get("queue_seconds"),
+                error=None if status == 200 else str(payload.get("error", "")),
+            )
+
+    threads = [
+        threading.Thread(target=worker, name=f"gc-loadgen-{i}", daemon=True)
+        for i in range(num_threads)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return ReplayResult(
+        trace_name=trace.name,
+        events=[event for event in events if event is not None],
+        elapsed_seconds=time.perf_counter() - start,
+        target_qps=target_qps,
+        num_threads=num_threads,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# trace generation
+# ---------------------------------------------------------------------- #
+def _skew_mix(skew: str, query_type: QueryType) -> WorkloadMix:
+    if skew == "uniform":
+        return WorkloadMix(zipf_alpha=0.0, query_type=query_type)
+    if skew == "zipfian":
+        return WorkloadMix(zipf_alpha=1.2, repeat_fraction=0.4, fresh_fraction=0.1,
+                           shrink_fraction=0.25, extend_fraction=0.25,
+                           query_type=query_type)
+    if skew == "drifting":
+        return WorkloadMix(zipf_alpha=1.2, drift=True, repeat_fraction=0.35,
+                           shrink_fraction=0.25, extend_fraction=0.25,
+                           fresh_fraction=0.15, query_type=query_type)
+    raise WorkloadError(
+        f"unknown trace skew {skew!r}; available: {', '.join(TRACE_SKEWS)}"
+    )
+
+
+def generate_trace(
+    dataset: list[Graph],
+    num_queries: int,
+    skew: str = "uniform",
+    query_type: QueryType | str = "subgraph",
+    seed: int | None = 2018,
+    name: str | None = None,
+) -> Workload:
+    """Generate a replayable trace with one of the canonical skews.
+
+    ``query_type`` may be ``"subgraph"``, ``"supergraph"`` or ``"mixed"``
+    (alternating semantics drawn from two independent pattern pools, the
+    shape the equivalence tests use).  Traces are plain workloads: save with
+    :meth:`Workload.save`, reload with :meth:`Workload.load`, replay with
+    :func:`replay_trace` — bit-identical under the same seed.
+    """
+    trace_name = name or f"trace-{skew}-{num_queries}q"
+    if isinstance(query_type, str) and query_type.lower() == "mixed":
+        half = num_queries // 2
+        sub = generate_trace(dataset, num_queries - half, skew=skew,
+                             query_type=QueryType.SUBGRAPH, seed=seed)
+        sup = generate_trace(dataset, half, skew=skew,
+                             query_type=QueryType.SUPERGRAPH,
+                             seed=None if seed is None else seed + 1)
+        queries: list[Query] = []
+        for position in range(num_queries):
+            source = sub.queries if position % 2 == 0 else sup.queries
+            queries.append(source[position // 2])
+        metadata = {"skew": skew, "query_type": "mixed", "seed": seed}
+        return Workload(name=trace_name, queries=queries, metadata=metadata)
+    mix = _skew_mix(skew, QueryType.parse(query_type))
+    generator = WorkloadGenerator(dataset, rng=seed)
+    trace = generator.generate(num_queries, mix=mix, name=trace_name)
+    trace.metadata.update({"skew": skew, "seed": seed})
+    return trace

@@ -5,7 +5,10 @@ from __future__ import annotations
 import pytest
 
 from repro.cli import build_parser, main
-from repro.graph import load_dataset, load_sdf_file
+from repro.graph import load_dataset, load_sdf_file, molecule_dataset
+from repro.runtime import GCConfig
+from repro.server import QueryServer
+from repro.workload import Workload
 
 
 class TestParser:
@@ -86,3 +89,75 @@ class TestRunCommands:
         out = capsys.readouterr().out
         assert "The Query Journey" in out
         assert "Answer Set" in out
+
+
+class TestServeCommand:
+    def test_serve_for_duration_and_snapshot(self, tmp_path, capsys):
+        snapshot = tmp_path / "snapshot.json"
+        code = main([
+            "serve", "--dataset-size", "10", "--port", "0", "--duration", "0.2",
+            "--cache-capacity", "8", "--window-size", "2", "--seed", "3",
+            "--feature-size", "1", "--snapshot-path", str(snapshot),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "serving 10 graphs at http://127.0.0.1:" in out
+        assert "drained" in out
+        assert snapshot.exists()  # saved even when no queries arrived
+
+    def test_serve_restores_snapshot(self, tmp_path, capsys):
+        snapshot = tmp_path / "snapshot.json"
+        dataset = molecule_dataset(10, min_vertices=7, max_vertices=12, rng=2018)
+        with QueryServer(dataset, GCConfig(cache_capacity=8, window_size=2),
+                         snapshot_path=snapshot) as server:
+            from repro.workload import QueryServerClient
+
+            client = QueryServerClient.for_server(server)
+            for graph in dataset[:6]:
+                client.run_query(graph.copy())
+        assert snapshot.exists()
+        code = main([
+            "serve", "--dataset-size", "10", "--port", "0", "--duration", "0.1",
+            "--cache-capacity", "8", "--window-size", "2", "--seed", "2018",
+            "--feature-size", "1", "--snapshot-path", str(snapshot),
+        ])
+        assert code == 0
+        assert "warm-started" in capsys.readouterr().out
+
+
+class TestLoadgenCommand:
+    @pytest.fixture()
+    def server(self):
+        dataset = molecule_dataset(10, min_vertices=7, max_vertices=12, rng=2018)
+        with QueryServer(dataset, GCConfig(cache_capacity=10, window_size=2)) as srv:
+            yield srv
+
+    def test_loadgen_generated_trace(self, server, capsys):
+        code = main([
+            "loadgen", "--port", str(server.port), "--dataset-size", "10",
+            "--queries", "12", "--skew", "zipfian", "--threads", "2", "--seed", "9",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "achieved_qps" in out and "p99_ms" in out
+
+    def test_loadgen_save_and_replay_trace(self, server, tmp_path, capsys):
+        trace_path = tmp_path / "trace.json"
+        code = main([
+            "loadgen", "--port", str(server.port), "--dataset-size", "10",
+            "--queries", "10", "--save-trace", str(trace_path), "--threads", "2",
+            "--seed", "9",
+        ])
+        assert code == 0
+        assert len(Workload.load(trace_path)) == 10
+        capsys.readouterr()
+        code = main([
+            "loadgen", "--port", str(server.port), "--trace", str(trace_path),
+            "--threads", "2", "--qps", "500",
+        ])
+        assert code == 0
+        assert "served" in capsys.readouterr().out
+
+    def test_loadgen_fails_fast_without_server(self):
+        with pytest.raises(Exception):
+            main(["loadgen", "--port", "1", "--dataset-size", "10", "--queries", "2"])

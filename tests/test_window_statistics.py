@@ -134,6 +134,27 @@ class TestStatisticsManager:
         manager.record(record(1, sub_hits=2))  # population 0 -> denominator 1
         assert manager.per_record_hit_percentages()[0] == pytest.approx(200.0)
 
+    def test_to_dict_is_json_safe(self):
+        import json
+
+        manager = StatisticsManager()
+        # dataset_tests=0 with baseline_tests>0 -> infinite test_speedup,
+        # the field JSON cannot carry; the enum query_type is the other one
+        manager.record(record(1, baseline_tests=10, dataset_tests=0, exact=True))
+        snapshot = manager.to_dict(include_records=True)
+        encoded = json.dumps(snapshot)  # must not raise
+        decoded = json.loads(encoded)
+        assert decoded["num_queries"] == 1
+        assert decoded["aggregate"]["test_speedup"] is None  # inf -> None
+        assert decoded["aggregate"]["hit_ratio"] == 1.0
+        assert decoded["records"][0]["query_type"] == "subgraph"
+
+    def test_to_dict_excludes_records_by_default(self):
+        manager = StatisticsManager()
+        manager.record(record(1))
+        assert "records" not in manager.to_dict()
+        assert manager.to_dict()["num_queries"] == 1
+
     def test_reset(self):
         manager = StatisticsManager()
         manager.record(record(1))
