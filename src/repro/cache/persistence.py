@@ -82,15 +82,19 @@ def save_cache(cache: GraphCache, path: str | Path) -> int:
     return len(entries)
 
 
-def load_cache_entries(path: str | Path) -> list[CacheEntry]:
-    """Load the entries saved by :func:`save_cache` (fresh entry ids)."""
-    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+def entries_from_payload(payload: object) -> list[CacheEntry]:
+    """Rebuild the entries of an already-parsed snapshot payload."""
     if not isinstance(payload, dict) or "entries" not in payload:
         raise CacheError("cache snapshot has no 'entries' field")
     version = payload.get("format_version", 0)
     if version > FORMAT_VERSION:
         raise CacheError(f"cache snapshot format {version} is newer than supported")
     return [entry_from_dict(item) for item in payload["entries"]]
+
+
+def load_cache_entries(path: str | Path) -> list[CacheEntry]:
+    """Load the entries saved by :func:`save_cache` (fresh entry ids)."""
+    return entries_from_payload(json.loads(Path(path).read_text(encoding="utf-8")))
 
 
 def restore_cache(cache: GraphCache, path: str | Path) -> int:

@@ -114,6 +114,27 @@ class StatisticsManager:
     def __init__(self) -> None:
         self._records: list[QueryRecord] = []
         self._lock = threading.Lock()
+        #: Per-shard managers attached by a sharded system (name → manager);
+        #: insertion-ordered, so snapshots list shards deterministically.
+        self._shards: dict[str, "StatisticsManager"] = {}
+
+    # ------------------------------------------------------------------ #
+    # shard attachment (sharded scatter-gather systems)
+    # ------------------------------------------------------------------ #
+    def attach_shard(self, name: str, manager: "StatisticsManager") -> None:
+        """Attach a per-shard manager so snapshots report per-shard keys.
+
+        The sharded system records *merged* records here and attaches each
+        shard's own manager; :meth:`to_dict` then carries a ``shards``
+        section with every shard's aggregate and stage breakdown.
+        """
+        if manager is self:
+            raise ValueError("a statistics manager cannot be its own shard")
+        self._shards[name] = manager
+
+    def shard_names(self) -> list[str]:
+        """Names of the attached per-shard managers, in attachment order."""
+        return list(self._shards)
 
     def record(self, record: QueryRecord) -> None:
         """Append one query record."""
@@ -249,12 +270,23 @@ class StatisticsManager:
         the record count — plus (optionally) every per-query record.  All
         values survive ``json.dumps`` unchanged: enums are collapsed to their
         string values and infinite speedups become ``None``.
+
+        When per-shard managers are attached (:meth:`attach_shard`), the
+        snapshot additionally carries ``num_shards`` and a ``shards`` mapping
+        of each shard's own snapshot, so one ``/metrics`` read shows both the
+        merged view and how work and hits distribute across shards.
         """
         snapshot: dict = {
             "num_queries": len(self._records),
             "aggregate": json_safe(asdict(self.aggregate())),
             "stage_breakdown": json_safe(self.stage_breakdown()),
         }
+        if self._shards:
+            snapshot["num_shards"] = len(self._shards)
+            snapshot["shards"] = {
+                name: manager.to_dict(include_records=include_records)
+                for name, manager in self._shards.items()
+            }
         if include_records:
             snapshot["records"] = [record.to_dict() for record in self.records()]
         return snapshot

@@ -45,8 +45,10 @@ from repro.graph import (
 )
 from repro.graph.operations import random_connected_subgraph
 from repro.methods.registry import available_methods
-from repro.runtime import GCConfig, GraphCacheSystem
+from repro.runtime import GCConfig
+from repro.runtime.config import SHARD_POLICIES
 from repro.server import QueryServer
+from repro.sharding import make_system
 from repro.workload import (
     TRACE_SKEWS,
     QueryServerClient,
@@ -90,6 +92,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="concurrent query streams (1 = sequential)")
     common.add_argument("--async-maintenance", action="store_true",
                         help="run cache admission/replacement on a maintenance thread")
+    common.add_argument("--shards", type=int, default=1,
+                        help="partition the dataset across N scatter-gather shards "
+                             "(1 = single system)")
+    common.add_argument("--shard-policy", default="hash", choices=list(SHARD_POLICIES),
+                        help="how graphs are routed to shards")
 
     run = subparsers.add_parser("run-workload", parents=[common],
                                 help="run a workload over GC and print the dashboards")
@@ -168,6 +175,8 @@ def _config_from_args(args, policy: str | None = None) -> GCConfig:
         method_options=options,
         max_workers=getattr(args, "workers", 1),
         async_maintenance=getattr(args, "async_maintenance", False),
+        num_shards=getattr(args, "shards", 1),
+        shard_policy=getattr(args, "shard_policy", "hash"),
     )
 
 
@@ -191,7 +200,7 @@ def cmd_run_workload(args) -> int:
     workload = WorkloadGenerator(dataset, rng=args.seed + 1).generate(
         args.queries, mix=args.mix, name=args.mix
     )
-    with GraphCacheSystem(dataset, _config_from_args(args)) as system:
+    with make_system(dataset, _config_from_args(args)) as system:
         result = run_workload(system, workload)
         print(WorkloadRunView(result).render_text())
         print()
@@ -227,7 +236,7 @@ def cmd_compare_policies(args) -> int:
 def cmd_journey(args) -> int:
     """Warm a cache and narrate the journey of one related query."""
     dataset = _load_or_generate_dataset(args)
-    with GraphCacheSystem(dataset, _config_from_args(args)) as system:
+    with make_system(dataset, _config_from_args(args)) as system:
         generator = WorkloadGenerator(dataset, rng=args.seed + 1)
         warmup = generator.generate(args.warm_queries, mix="popular", name="warmup")
         system.warm_cache(list(warmup))
@@ -238,7 +247,8 @@ def cmd_journey(args) -> int:
         journey = QueryJourney(
             report,
             dataset_ids=[graph.graph_id for graph in dataset],
-            cache_entry_ids=[entry.entry_id for entry in system.cache.entries()],
+            cache_entry_ids=[entry.entry_id for cache in system.all_caches()
+                             for entry in cache.entries()],
         )
         print(journey.render_text(columns=20))
     return 0
@@ -258,8 +268,11 @@ def cmd_serve(args) -> int:
         snapshot_path=args.snapshot_path,
     )
     server.start()
+    shard_note = (
+        f", shards={args.shards}/{args.shard_policy}" if args.shards > 1 else ""
+    )
     print(f"serving {len(dataset)} graphs at {server.address} "
-          f"(batch={args.batch_size}, queue={args.queue_depth})")
+          f"(batch={args.batch_size}, queue={args.queue_depth}{shard_note})")
     if server.restored_entries:
         print(f"cache warm-started with {server.restored_entries} entries "
               f"from {args.snapshot_path}")

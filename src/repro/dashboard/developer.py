@@ -27,21 +27,24 @@ class DeveloperMonitor:
         return self.system.describe()
 
     def cache_entries(self) -> list[dict[str, object]]:
-        """Per-entry statistics plus the active policy's utility score."""
-        if self.system.cache is None:
-            return []
-        policy = self.system.cache.policy
+        """Per-entry statistics plus the active policy's utility score.
+
+        Aggregates over every cache the system owns — one for the single
+        engine, one per shard for a sharded scatter-gather system.
+        """
         rows: list[dict[str, object]] = []
-        for entry in self.system.cache.entries():
-            row: dict[str, object] = {
-                "entry_id": entry.entry_id,
-                "vertices": entry.num_vertices,
-                "edges": entry.num_edges,
-                "answers": len(entry.answer),
-                "utility": policy.utility(entry),
-            }
-            row.update(entry.stats.snapshot())
-            rows.append(row)
+        for cache in self.system.all_caches():
+            policy = cache.policy
+            for entry in cache.entries():
+                row: dict[str, object] = {
+                    "entry_id": entry.entry_id,
+                    "vertices": entry.num_vertices,
+                    "edges": entry.num_edges,
+                    "answers": len(entry.answer),
+                    "utility": policy.utility(entry),
+                }
+                row.update(entry.stats.snapshot())
+                rows.append(row)
         return rows
 
     def memory_report(self) -> dict[str, float]:

@@ -12,6 +12,11 @@ from dataclasses import asdict, dataclass, field
 
 from repro.errors import ConfigurationError
 
+#: Valid shard routing policies (implemented in :mod:`repro.sharding.router`).
+#: Defined here — not in the sharding package — so validating a config never
+#: imports the sharding machinery (which itself depends on this module).
+SHARD_POLICIES = ("hash", "round-robin", "size-balanced")
+
 
 @dataclass
 class GCConfig:
@@ -52,6 +57,18 @@ class GCConfig:
     #: maintenance thread instead of the query critical path.
     async_maintenance: bool = False
 
+    # --- sharding ---------------------------------------------------------
+    #: Number of independent :class:`GraphCacheSystem` shards the dataset is
+    #: partitioned across (1 = a single unsharded system).  Values above 1
+    #: are honoured by :func:`repro.sharding.make_system`, the query server
+    #: and the CLI, which build a
+    #: :class:`~repro.sharding.system.ShardedGraphCacheSystem`.
+    num_shards: int = 1
+    #: How the :class:`~repro.sharding.router.ShardRouter` partitions the
+    #: dataset: ``hash`` (stable graph-id hash), ``round-robin`` (dataset
+    #: order) or ``size-balanced`` (greedy largest-first balancing).
+    shard_policy: str = "hash"
+
     # --- accounting ------------------------------------------------------
     #: When True, each query is *also* executed by plain Method M so that the
     #: reported time speedup is a measurement rather than an estimate.
@@ -83,6 +100,13 @@ class GCConfig:
             raise ConfigurationError("verify_threads must be at least 1")
         if self.max_workers < 1:
             raise ConfigurationError("max_workers must be at least 1")
+        if self.num_shards < 1:
+            raise ConfigurationError("num_shards must be at least 1")
+        if self.shard_policy not in SHARD_POLICIES:
+            raise ConfigurationError(
+                f"unknown shard_policy {self.shard_policy!r}; "
+                f"available: {', '.join(SHARD_POLICIES)}"
+            )
 
     def to_dict(self) -> dict:
         """Serialise the configuration (for reports and experiment logs)."""

@@ -77,6 +77,15 @@ class GraphCacheSystem:
     # ------------------------------------------------------------------ #
     # lifecycle
     # ------------------------------------------------------------------ #
+    def all_caches(self) -> list[GraphCache]:
+        """Every cache this system owns (0 or 1 here; N for sharded systems).
+
+        The shared accessor the server and the workload runner use so they
+        need not care whether they hold a single system or a
+        :class:`~repro.sharding.system.ShardedGraphCacheSystem`.
+        """
+        return [self.cache] if self.cache is not None else []
+
     def close(self) -> None:
         """Release background resources (maintenance worker, verify pool)."""
         if self.cache is not None:
@@ -164,6 +173,42 @@ class GraphCacheSystem:
             self.cache.flush_window()
         if reset_statistics:
             self.statistics.reset()
+
+    # ------------------------------------------------------------------ #
+    # snapshots
+    # ------------------------------------------------------------------ #
+    def save_snapshot(self, path) -> int:
+        """Persist the cache to ``path``; returns entries written (0 = no cache)."""
+        from repro.cache.persistence import save_cache
+
+        if self.cache is None:
+            return 0
+        self.cache.drain_maintenance()
+        return save_cache(self.cache, path)
+
+    def restore_snapshot(self, path) -> int:
+        """Warm the cache from ``path``; returns entries restored.
+
+        Returns 0 (cold start) when the cache is disabled, the file is
+        missing, or the file is a *sharded* snapshot manifest — those only
+        make sense for the shard layout they were written under.  A corrupt
+        or malformed snapshot raises (so a warm-cache file is never silently
+        discarded and overwritten at the next shutdown).
+        """
+        import json
+        from pathlib import Path
+
+        from repro.cache.persistence import entries_from_payload
+
+        snapshot = Path(path)
+        if self.cache is None or not snapshot.exists():
+            return 0
+        payload = json.loads(snapshot.read_text(encoding="utf-8"))
+        if isinstance(payload, dict) and payload.get("sharded"):
+            return 0
+        entries = entries_from_payload(payload)
+        self.cache.warm(entries)
+        return min(len(entries), len(self.cache))
 
     # ------------------------------------------------------------------ #
     # reporting

@@ -29,19 +29,26 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 
 from repro import __version__
-from repro.cache.persistence import restore_cache, save_cache
 from repro.cache.statistics import json_safe
 from repro.errors import AdmissionRejectedError, ProtocolError, ServerClosedError
 from repro.graph.graph import Graph
 from repro.methods.base import MethodM
 from repro.runtime.config import GCConfig
-from repro.runtime.system import GraphCacheSystem
 from repro.server.batcher import RequestBatcher
 from repro.server.protocol import query_from_payload, report_to_payload
+from repro.sharding import make_system
 
 
 class QueryServer:
-    """Embedded graph-query server: batching, backpressure, live metrics."""
+    """Embedded graph-query server: batching, backpressure, live metrics.
+
+    With ``config.num_shards > 1`` the server fronts a
+    :class:`~repro.sharding.system.ShardedGraphCacheSystem`: queries are
+    scattered across the shards and merged transparently, ``/metrics`` grows
+    a per-shard section, and cache snapshots fan out to per-shard files.
+    ``method`` may then be a zero-argument factory (each shard builds its own
+    Method M over its partition); a built instance only fits one shard.
+    """
 
     def __init__(
         self,
@@ -57,7 +64,7 @@ class QueryServer:
         snapshot_path: str | Path | None = None,
         request_timeout_seconds: float = 60.0,
     ) -> None:
-        self.system = GraphCacheSystem(dataset, config, method=method)
+        self.system = make_system(dataset, config, method=method)
         try:
             # bind before spawning the batcher thread or touching the
             # snapshot: a failed bind (port in use) must not leak either
@@ -68,12 +75,8 @@ class QueryServer:
         try:
             self.snapshot_path = Path(snapshot_path) if snapshot_path is not None else None
             self.restored_entries = 0
-            if (
-                self.snapshot_path is not None
-                and self.system.cache is not None
-                and self.snapshot_path.exists()
-            ):
-                self.restored_entries = restore_cache(self.system.cache, self.snapshot_path)
+            if self.snapshot_path is not None:
+                self.restored_entries = self.system.restore_snapshot(self.snapshot_path)
             self.batcher = RequestBatcher(
                 self.system,
                 max_batch_size=max_batch_size,
@@ -122,9 +125,8 @@ class QueryServer:
             return
         self._stopped = True
         self.batcher.close(drain=drain)
-        if self.snapshot_path is not None and self.system.cache is not None:
-            self.system.cache.drain_maintenance()
-            save_cache(self.system.cache, self.snapshot_path)
+        if self.snapshot_path is not None:
+            self.system.save_snapshot(self.snapshot_path)
         self._httpd.shutdown()
         if self._thread is not None:
             self._thread.join()
@@ -167,12 +169,21 @@ class QueryServer:
         )
 
     def metrics(self) -> dict:
-        """The ``/metrics`` payload: statistics snapshot + cache population."""
+        """The ``/metrics`` payload: statistics snapshot + cache population.
+
+        For a sharded system the statistics snapshot already carries the
+        per-shard aggregates; a ``shards`` section adds each shard's cache
+        population and memory so operators see how load distributes.
+        """
         payload = {
             "statistics": self.system.statistics.to_dict(),
             "hit_percentages": json_safe(self.system.hit_percentages()),
         }
-        if self.system.cache is not None:
+        describe_shards = getattr(self.system, "describe_shards", None)
+        if describe_shards is not None:
+            payload["shards"] = json_safe(describe_shards())
+            payload["router"] = json_safe(self.system.router.describe())
+        elif self.system.cache is not None:
             payload["cache"] = json_safe(self.system.cache.describe())
         return payload
 

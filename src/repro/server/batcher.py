@@ -26,10 +26,17 @@ import time
 from concurrent.futures import Future
 from dataclasses import dataclass
 
+from typing import TYPE_CHECKING, Union
+
 from repro.errors import AdmissionRejectedError, ConfigurationError, ServerClosedError
 from repro.query_model import Query
 from repro.runtime.report import QueryReport
 from repro.runtime.system import GraphCacheSystem
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sharding.system import ShardedGraphCacheSystem
+
+    AnySystem = Union[GraphCacheSystem, "ShardedGraphCacheSystem"]
 
 _STOP = object()
 
@@ -82,11 +89,17 @@ class BatcherStats:
 
 
 class RequestBatcher:
-    """Bounded admission queue + batch dispatcher over one system."""
+    """Bounded admission queue + batch dispatcher over one system.
+
+    ``system`` is anything exposing ``run_queries_concurrent`` with the
+    :class:`GraphCacheSystem` contract — the single-system engine or a
+    :class:`~repro.sharding.system.ShardedGraphCacheSystem`; batches scatter
+    across shards inside the system, invisibly to the batcher.
+    """
 
     def __init__(
         self,
-        system: GraphCacheSystem,
+        system: "AnySystem",
         max_batch_size: int = 4,
         max_delay_seconds: float = 0.005,
         max_queue_depth: int = 64,

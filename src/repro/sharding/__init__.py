@@ -1,0 +1,28 @@
+"""Sharded scatter-gather execution: dataset partitioning + merged serving.
+
+Partition the dataset across N independent :class:`GraphCacheSystem` shards
+(:class:`ShardRouter`), scatter every query's filter + verify work to all
+shards in parallel, and merge the per-shard answers into one deterministic
+report (:class:`ShardedGraphCacheSystem`).  :func:`make_system` dispatches on
+``GCConfig.num_shards`` so callers (query server, CLI, workload runner) stay
+agnostic of whether they hold a sharded or an unsharded engine.
+"""
+
+from repro.runtime.config import SHARD_POLICIES
+from repro.sharding.router import ShardRouter, stable_graph_id_hash
+from repro.sharding.system import (
+    MERGE_STAGE,
+    ShardedGraphCacheSystem,
+    make_system,
+    shard_snapshot_path,
+)
+
+__all__ = [
+    "SHARD_POLICIES",
+    "ShardRouter",
+    "ShardedGraphCacheSystem",
+    "MERGE_STAGE",
+    "make_system",
+    "shard_snapshot_path",
+    "stable_graph_id_hash",
+]

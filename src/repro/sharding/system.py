@@ -1,0 +1,443 @@
+"""ShardedGraphCacheSystem: scatter-gather execution over dataset shards.
+
+The dataset is partitioned by a :class:`~repro.sharding.router.ShardRouter`
+into N disjoint partitions, each owned by an independent
+:class:`~repro.runtime.system.GraphCacheSystem` — its own Method M filter
+index, its own thread-safe cache, its own admission window and maintenance
+worker.  Every query is *scattered* to all shards (each filters + verifies
+only its own partition, consulting only its own cache) and the per-shard
+reports are *gathered* into one merged :class:`QueryReport`:
+
+* answer / candidate / guaranteed sets — unions (partitions are disjoint, so
+  the union is exactly the unsharded result);
+* test and probe counts, per-stage seconds — sums across shards;
+* ``total_seconds`` — the critical path: the slowest shard plus the merge;
+* merge overhead — accounted as its own ``"merge"`` pipeline stage, so
+  ``stage_breakdown()`` and the ``/metrics`` endpoint expose it directly.
+
+The merged stream feeds this system's own :class:`StatisticsManager`, which
+also carries a reference to every per-shard manager so ``to_dict()`` reports
+per-shard aggregation alongside the merged view.
+
+The class mirrors the :class:`GraphCacheSystem` facade (``run_query``,
+``run_queries``, ``run_queries_concurrent``, ``warm_cache``, statistics and
+memory accessors, snapshot save/restore), so the query server, the request
+batcher and the workload runner accept it transparently.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections.abc import Callable, Iterable
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+from repro.cache.graph_cache import GraphCache
+from repro.cache.statistics import AggregateStatistics, QueryRecord, StatisticsManager
+from repro.errors import ConfigurationError
+from repro.graph.graph import Graph
+from repro.methods.base import MethodM
+from repro.query_model import Query, QueryType
+from repro.runtime.config import GCConfig
+from repro.runtime.report import QueryReport
+from repro.runtime.system import GraphCacheSystem
+from repro.sharding.router import ShardRouter
+
+#: Stage name under which scatter-gather merge time is accounted.
+MERGE_STAGE = "merge"
+
+SNAPSHOT_MANIFEST_VERSION = 1
+
+
+def shard_snapshot_path(path: str | Path, shard: int) -> Path:
+    """The per-shard snapshot file derived from the base snapshot path."""
+    base = Path(path)
+    return base.with_name(f"{base.stem}-shard{shard}{base.suffix or '.json'}")
+
+
+class ShardedGraphCacheSystem:
+    """N independent GC shards behind one scatter-gather facade."""
+
+    def __init__(
+        self,
+        dataset: Iterable[Graph],
+        config: GCConfig | None = None,
+        method_factory: Callable[[], MethodM] | None = None,
+    ) -> None:
+        self.config = config or GCConfig()
+        self.config.validate()
+        self.dataset = list(dataset)
+        if not self.dataset:
+            raise ConfigurationError("the dataset must contain at least one graph")
+        if method_factory is not None and isinstance(method_factory, MethodM):
+            raise ConfigurationError(
+                "a sharded system needs a method *factory* (each shard builds its "
+                "own Method M over its partition); pass a zero-argument callable"
+            )
+        self.router = ShardRouter(
+            self.dataset, self.config.num_shards, self.config.shard_policy
+        )
+        shard_payload = self.config.to_dict()
+        shard_payload["num_shards"] = 1  # each shard is itself unsharded
+        self.shards: list[GraphCacheSystem] = []
+        try:
+            for partition in self.router.partitions():
+                method = method_factory() if method_factory is not None else None
+                self.shards.append(
+                    GraphCacheSystem(partition, GCConfig.from_dict(shard_payload),
+                                     method=method)
+                )
+        except Exception:
+            for shard in self.shards:
+                shard.close()
+            raise
+        #: Merged per-query statistics; per-shard managers ride along so
+        #: ``to_dict()`` exposes per-shard aggregation keys.
+        self.statistics = StatisticsManager()
+        for index, shard in enumerate(self.shards):
+            self.statistics.attach_shard(f"shard{index}", shard.statistics)
+        #: Scatter pool: one slot per shard, so every shard of a query (or of
+        #: a batch) executes concurrently with its siblings.
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.num_shards, thread_name_prefix="gc-shard"
+        )
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def num_shards(self) -> int:
+        return self.router.num_shards
+
+    @property
+    def cache(self) -> None:
+        """No single cache exists; per-shard caches via :meth:`all_caches`."""
+        return None
+
+    @property
+    def method(self) -> MethodM:
+        """Shard 0's Method M (shards share the method type and options)."""
+        return self.shards[0].method
+
+    def all_caches(self) -> list[GraphCache]:
+        """Every shard's cache (empty when caching is disabled)."""
+        return [shard.cache for shard in self.shards if shard.cache is not None]
+
+    def close(self) -> None:
+        """Release every shard and the scatter pool."""
+        if self._closed:
+            return
+        self._closed = True
+        self._pool.shutdown(wait=True)
+        for shard in self.shards:
+            shard.close()
+
+    def __enter__(self) -> "ShardedGraphCacheSystem":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # query execution (scatter-gather)
+    # ------------------------------------------------------------------ #
+    def run_query(
+        self, query: Query | Graph, query_type: QueryType | str = QueryType.SUBGRAPH
+    ) -> QueryReport:
+        """Scatter one query to every shard and merge the answers."""
+        if not isinstance(query, Query):
+            query = Query(graph=query, query_type=QueryType.parse(query_type))
+        return self._scatter_one(query, query.query_type)
+
+    def run_queries(
+        self,
+        queries: Iterable[Query | Graph],
+        query_type: QueryType | str = QueryType.SUBGRAPH,
+    ) -> list[QueryReport]:
+        """Process queries in order; each is scattered across all shards.
+
+        Per-shard cache state evolves exactly as if that shard processed the
+        stream sequentially on its own, so the merged answers are invariant
+        across shard counts.
+        """
+        return [self.run_query(query, query_type) for query in queries]
+
+    def run_queries_concurrent(
+        self,
+        queries: Iterable[Query | Graph],
+        query_type: QueryType | str = QueryType.SUBGRAPH,
+        max_workers: int | None = None,
+    ) -> list[QueryReport]:
+        """Scatter the whole batch to per-shard worker pools and merge.
+
+        Each shard executes the batch through its own
+        :meth:`GraphCacheSystem.run_queries_concurrent` (``max_workers``
+        concurrent streams *per shard*), all shards running concurrently on
+        the scatter pool.  Merged reports are returned in submission order,
+        so downstream comparisons stay deterministic.
+        """
+        workers = self.config.max_workers if max_workers is None else max_workers
+        if workers < 1:
+            raise ConfigurationError("max_workers must be at least 1")
+        query_list = [
+            query if isinstance(query, Query)
+            else Query(graph=query, query_type=QueryType.parse(query_type))
+            for query in queries
+        ]
+        if not query_list:
+            return []
+        futures = [
+            self._pool.submit(
+                shard.run_queries_concurrent, query_list, query_type, workers
+            )
+            for shard in self.shards
+        ]
+        per_shard = [future.result() for future in futures]
+        return [
+            self._merge(query, [reports[position] for reports in per_shard])
+            for position, query in enumerate(query_list)
+        ]
+
+    def warm_cache(
+        self,
+        queries: Iterable[Query | Graph],
+        query_type: QueryType | str = QueryType.SUBGRAPH,
+        reset_statistics: bool = True,
+    ) -> None:
+        """Warm every shard's cache with the same query stream.
+
+        The warm-up runs through the normal scatter-gather path, so the
+        merged and per-shard statistics stay consistent: with
+        ``reset_statistics=False`` both views carry the warm-up queries,
+        with the default both are cleared.
+        """
+        self.run_queries(list(queries), query_type)
+        for cache in self.all_caches():
+            cache.flush_window()
+        if reset_statistics:
+            self.statistics.reset()
+            for shard in self.shards:
+                shard.statistics.reset()
+
+    def _scatter_one(self, query: Query, query_type: QueryType | str) -> QueryReport:
+        futures = [
+            self._pool.submit(shard.run_query, query, query_type)
+            for shard in self.shards
+        ]
+        return self._merge(query, [future.result() for future in futures])
+
+    # ------------------------------------------------------------------ #
+    # gather / merge
+    # ------------------------------------------------------------------ #
+    def _merge(self, query: Query, shard_reports: list[QueryReport]) -> QueryReport:
+        """Merge per-shard reports into one deterministic report + record."""
+        started = time.perf_counter()
+        merged = QueryReport(query=query)
+        stage_seconds: dict[str, float] = {}
+        baseline_seconds = 0.0
+        have_baseline = True
+        slowest = 0.0
+        for report in shard_reports:  # shard order: deterministic
+            if merged.exact_hit_entry is None:
+                merged.exact_hit_entry = report.exact_hit_entry
+            merged.sub_hit_entries.extend(report.sub_hit_entries)
+            merged.super_hit_entries.extend(report.super_hit_entries)
+            merged.method_candidates |= report.method_candidates
+            merged.guaranteed_answers |= report.guaranteed_answers
+            merged.guaranteed_non_answers |= report.guaranteed_non_answers
+            merged.verified_candidates |= report.verified_candidates
+            merged.verified_answers |= report.verified_answers
+            merged.answer |= report.answer
+            merged.cache_population += report.cache_population
+            merged.dataset_tests += report.dataset_tests
+            merged.probe_tests += report.probe_tests
+            merged.filter_seconds += report.filter_seconds
+            merged.probe_seconds += report.probe_seconds
+            merged.verify_seconds += report.verify_seconds
+            merged.baseline_tests += report.baseline_tests
+            slowest = max(slowest, report.total_seconds)
+            if report.baseline_seconds is None:
+                have_baseline = False
+            else:
+                baseline_seconds += report.baseline_seconds
+            for stage, seconds in report.stage_seconds.items():
+                stage_seconds[stage] = stage_seconds.get(stage, 0.0) + seconds
+        merged.baseline_seconds = baseline_seconds if have_baseline else None
+        merge_seconds = time.perf_counter() - started
+        stage_seconds[MERGE_STAGE] = merge_seconds
+        merged.stage_seconds = stage_seconds
+        #: Critical path: shards ran concurrently, so the merged wall time is
+        #: the slowest shard plus the gather/merge itself.
+        merged.total_seconds = slowest + merge_seconds
+        self.statistics.record(self._record_from(merged))
+        return merged
+
+    @staticmethod
+    def _record_from(report: QueryReport) -> QueryRecord:
+        query = report.query
+        return QueryRecord(
+            query_id=query.query_id,
+            query_type=query.query_type,
+            num_vertices=query.num_vertices,
+            num_edges=query.num_edges,
+            exact_hit=report.exact_hit_entry is not None,
+            sub_hits=len(report.sub_hit_entries),
+            super_hits=len(report.super_hit_entries),
+            cache_population=report.cache_population,
+            method_candidates=len(report.method_candidates),
+            guaranteed_answers=len(report.guaranteed_answers),
+            guaranteed_non_answers=len(report.guaranteed_non_answers),
+            verified_candidates=len(report.verified_candidates),
+            answer_size=len(report.answer),
+            dataset_tests=report.dataset_tests,
+            probe_tests=report.probe_tests,
+            filter_seconds=report.filter_seconds,
+            probe_seconds=report.probe_seconds,
+            verify_seconds=report.verify_seconds,
+            total_seconds=report.total_seconds,
+            baseline_tests=report.baseline_tests,
+            baseline_seconds=report.baseline_seconds,
+            stage_seconds=dict(report.stage_seconds),
+        )
+
+    # ------------------------------------------------------------------ #
+    # snapshots (fan out to per-shard files + a manifest)
+    # ------------------------------------------------------------------ #
+    def save_snapshot(self, path: str | Path) -> int:
+        """Persist every shard's cache; returns total entries written.
+
+        ``path`` receives a manifest (shard count, routing policy, file
+        names); each shard's entries land in ``<stem>-shard<i><suffix>``
+        next to it.  A restore with a different shard count or policy is
+        refused (cold start) — shard files only make sense for the exact
+        partitioning they were written under.
+        """
+        base = Path(path)
+        total = 0
+        shard_files: list[str] = []
+        for index, shard in enumerate(self.shards):
+            if shard.cache is None:
+                continue
+            shard_path = shard_snapshot_path(base, index)
+            total += shard.save_snapshot(shard_path)
+            shard_files.append(shard_path.name)
+        manifest = {
+            "format_version": SNAPSHOT_MANIFEST_VERSION,
+            "sharded": True,
+            "num_shards": self.num_shards,
+            "shard_policy": self.router.policy,
+            "shard_files": shard_files,
+            "entries": total,
+        }
+        base.write_text(json.dumps(manifest, indent=2), encoding="utf-8")
+        return total
+
+    def restore_snapshot(self, path: str | Path) -> int:
+        """Warm every shard from a sharded snapshot; returns entries restored.
+
+        Returns 0 (cold start) when the manifest is missing, is not a
+        sharded manifest (e.g. a single-system snapshot), or was written
+        under a different shard count / routing policy.  A corrupt manifest
+        or shard file raises — warm-cache data is never silently dropped.
+        """
+        base = Path(path)
+        if not base.exists():
+            return 0
+        manifest = json.loads(base.read_text(encoding="utf-8"))
+        if not isinstance(manifest, dict) or not manifest.get("sharded"):
+            return 0
+        if (
+            manifest.get("num_shards") != self.num_shards
+            or manifest.get("shard_policy") != self.router.policy
+        ):
+            return 0
+        return sum(
+            shard.restore_snapshot(shard_snapshot_path(base, index))
+            for index, shard in enumerate(self.shards)
+        )
+
+    # ------------------------------------------------------------------ #
+    # reporting
+    # ------------------------------------------------------------------ #
+    def aggregate(self) -> AggregateStatistics:
+        """Merged aggregate statistics over every query processed so far."""
+        return self.statistics.aggregate()
+
+    def records(self) -> list[QueryRecord]:
+        """Merged per-query records."""
+        return self.statistics.records()
+
+    def stage_breakdown(self) -> list[dict[str, float]]:
+        """Merged per-stage latency summary (includes the ``merge`` stage)."""
+        return self.statistics.stage_breakdown()
+
+    def hit_percentages(self) -> list[float]:
+        """Per-query hit percentage over the summed shard cache populations."""
+        return self.statistics.per_record_hit_percentages()
+
+    def cache_memory_bytes(self) -> int:
+        """Total cache memory across shards."""
+        return sum(shard.cache_memory_bytes() for shard in self.shards)
+
+    def index_memory_bytes(self) -> int:
+        """Total Method M filter-index memory across shards."""
+        return sum(shard.index_memory_bytes() for shard in self.shards)
+
+    def memory_overhead_ratio(self) -> float:
+        """Total cache memory as a fraction of total index memory."""
+        index_bytes = self.index_memory_bytes()
+        if index_bytes <= 0:
+            return float("inf") if self.cache_memory_bytes() > 0 else 0.0
+        return self.cache_memory_bytes() / index_bytes
+
+    def describe_shards(self) -> list[dict[str, object]]:
+        """One summary row per shard (dataset slice, cache, memory)."""
+        rows: list[dict[str, object]] = []
+        for index, shard in enumerate(self.shards):
+            row: dict[str, object] = {
+                "shard": index,
+                "dataset_size": len(shard.dataset),
+                "cache_memory_bytes": shard.cache_memory_bytes(),
+                "index_memory_bytes": shard.index_memory_bytes(),
+            }
+            if shard.cache is not None:
+                row["cache"] = shard.cache.describe()
+            rows.append(row)
+        return rows
+
+    def describe(self) -> dict[str, object]:
+        """Full description of the sharded deployment (for reports)."""
+        return {
+            "config": self.config.to_dict(),
+            "method": self.method.describe(),
+            "dataset_size": len(self.dataset),
+            "router": self.router.describe(),
+            "shards": self.describe_shards(),
+        }
+
+
+def make_system(
+    dataset: Iterable[Graph],
+    config: GCConfig | None = None,
+    method: MethodM | Callable[[], MethodM] | None = None,
+) -> GraphCacheSystem | ShardedGraphCacheSystem:
+    """Build the system a config asks for: unsharded or scatter-gather.
+
+    ``method`` may be a :class:`MethodM` instance (unsharded only) or a
+    zero-argument factory.  With ``config.num_shards > 1`` a factory is
+    required — each shard builds its own Method M over its partition.
+    """
+    config = config or GCConfig()
+    config.validate()
+    if config.num_shards <= 1:
+        if method is not None and not isinstance(method, MethodM):
+            method = method()
+        return GraphCacheSystem(dataset, config, method=method)
+    if isinstance(method, MethodM):
+        raise ConfigurationError(
+            "num_shards > 1 requires a method factory (zero-argument callable), "
+            "not a built MethodM instance: every shard indexes its own partition"
+        )
+    return ShardedGraphCacheSystem(dataset, config, method_factory=method)

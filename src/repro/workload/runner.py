@@ -73,7 +73,9 @@ def run_workload(
 
     ``max_workers`` (default: the system's ``config.max_workers``) selects
     the number of concurrent query streams; reports keep workload order
-    either way.
+    either way.  ``system`` may equally be a
+    :class:`~repro.sharding.system.ShardedGraphCacheSystem` — eviction and
+    memory accounting then aggregate over every shard's cache.
     """
     workers = system.config.max_workers if max_workers is None else max_workers
     if workers > 1:
@@ -81,13 +83,14 @@ def run_workload(
     else:
         reports = [system.run_query(query) for query in workload]
     evicted: list[int] = []
-    if system.cache is not None:
-        system.cache.drain_maintenance()
-        for report in system.cache.eviction_reports():
+    caches = system.all_caches()
+    for cache in caches:
+        cache.drain_maintenance()
+        for report in cache.eviction_reports():
             evicted.extend(report.evicted)
     return WorkloadRunResult(
         workload_name=workload.name,
-        policy=system.config.replacement_policy if system.cache is not None else "none",
+        policy=system.config.replacement_policy if caches else "none",
         method=system.method.name,
         reports=reports,
         aggregate=system.aggregate(),
@@ -107,10 +110,16 @@ def run_with_policy(
     config: GCConfig | None = None,
     warmup: Workload | None = None,
 ) -> WorkloadRunResult:
-    """Build a fresh system with ``policy`` and run the workload on it."""
+    """Build a fresh system with ``policy`` and run the workload on it.
+
+    Honours ``config.num_shards``: with more than one shard the policy runs
+    independently inside every shard's cache.
+    """
+    from repro.sharding import make_system
+
     base = config.to_dict() if config is not None else GCConfig().to_dict()
     base["replacement_policy"] = policy
-    with GraphCacheSystem(dataset, GCConfig.from_dict(base)) as system:
+    with make_system(dataset, GCConfig.from_dict(base)) as system:
         if warmup is not None:
             system.warm_cache(list(warmup))
         return run_workload(system, workload)

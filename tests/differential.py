@@ -1,0 +1,222 @@
+"""Differential correctness harness for the sharded scatter-gather engine.
+
+The invariant that makes distribution trustworthy: **every execution arm
+returns exactly the same answer sets** for the same workload —
+
+* ``direct``      — Method M alone, no cache (``cache_enabled=False``);
+* ``cached``      — the single-system engine with the cache on;
+* ``sharded(N)``  — the scatter-gather engine at N shards;
+* ``served``      — queries replayed through the HTTP server.
+
+The harness runs each arm on a *fresh* system over the same dataset and the
+same seeded workload (queries are cloned per arm, so no arm can leak state
+into another), and returns the per-query answer sets plus the hit/test
+accounting.  On mismatch, :func:`diff_answers` produces a compact per-query
+diff (first few offending positions, missing/unexpected graph ids) instead
+of dumping two 200-element lists at the reader.
+
+Hit/miss-count equivalence is asserted only where it is actually guaranteed:
+``sharded(1)`` is the same engine as ``cached`` plus a trivial merge, and a
+*sequential* served run (one client thread, batch size 1) executes the exact
+same query stream in the exact same order.  At 2+ shards each shard's cache
+admits and evicts independently, so only the answer sets — not the hit
+trajectories — are invariant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cache.statistics import AggregateStatistics
+from repro.graph.graph import Graph
+from repro.index.base import graph_id_sort_key
+from repro.query_model import Query
+from repro.runtime.config import GCConfig
+from repro.runtime.system import GraphCacheSystem
+from repro.server import QueryServer
+from repro.sharding import ShardedGraphCacheSystem
+from repro.workload import QueryServerClient, Workload, replay_trace
+
+
+@dataclass
+class ArmResult:
+    """One execution arm's observable outcome."""
+
+    name: str
+    #: Per-query answer sets, in workload order.
+    answers: list[frozenset] = field(default_factory=list)
+    #: Aggregate statistics (hits, tests) the arm's StatisticsManager saw.
+    aggregate: AggregateStatistics = field(default_factory=AggregateStatistics)
+
+    def hit_counts(self) -> dict[str, int]:
+        """The hit/test accounting that deterministic arms must agree on."""
+        return {
+            "queries": self.aggregate.num_queries,
+            "hits": self.aggregate.num_hits,
+            "exact_hits": self.aggregate.num_exact_hits,
+            "sub_hits": self.aggregate.num_sub_hits,
+            "super_hits": self.aggregate.num_super_hits,
+            "dataset_tests": self.aggregate.total_dataset_tests,
+            "baseline_tests": self.aggregate.total_baseline_tests,
+            "probe_tests": self.aggregate.total_probe_tests,
+        }
+
+
+def clone_queries(workload: Workload) -> list[Query]:
+    """Fresh Query objects (copied graphs, new ids) so arms cannot interact."""
+    return [
+        Query(graph=query.graph.copy(), query_type=query.query_type)
+        for query in workload
+    ]
+
+
+def base_config(**overrides) -> GCConfig:
+    """The harness's standard configuration; override per arm."""
+    payload = GCConfig(cache_capacity=25, window_size=5).to_dict()
+    payload.update(overrides)
+    return GCConfig.from_dict(payload)
+
+
+# ---------------------------------------------------------------------- #
+# execution arms
+# ---------------------------------------------------------------------- #
+def run_direct(dataset: list[Graph], workload: Workload, **config_overrides) -> ArmResult:
+    """Method M alone: filter + verify with the cache disabled."""
+    config = base_config(cache_enabled=False, **config_overrides)
+    with GraphCacheSystem(dataset, config) as system:
+        reports = system.run_queries(clone_queries(workload))
+        return ArmResult(
+            name="direct",
+            answers=[frozenset(report.answer) for report in reports],
+            aggregate=system.aggregate(),
+        )
+
+
+def run_cached(dataset: list[Graph], workload: Workload, **config_overrides) -> ArmResult:
+    """The unsharded single-system engine, cache on."""
+    config = base_config(**config_overrides)
+    with GraphCacheSystem(dataset, config) as system:
+        reports = system.run_queries(clone_queries(workload))
+        return ArmResult(
+            name="cached",
+            answers=[frozenset(report.answer) for report in reports],
+            aggregate=system.aggregate(),
+        )
+
+
+def run_sharded(
+    dataset: list[Graph],
+    workload: Workload,
+    num_shards: int,
+    concurrent_workers: int | None = None,
+    **config_overrides,
+) -> ArmResult:
+    """The scatter-gather engine at ``num_shards`` shards.
+
+    ``concurrent_workers`` switches to ``run_queries_concurrent`` with that
+    many per-shard streams (None = the deterministic sequential path).
+    """
+    config = base_config(num_shards=num_shards, **config_overrides)
+    with ShardedGraphCacheSystem(dataset, config) as system:
+        queries = clone_queries(workload)
+        if concurrent_workers is None:
+            reports = system.run_queries(queries)
+        else:
+            reports = system.run_queries_concurrent(queries, max_workers=concurrent_workers)
+        return ArmResult(
+            name=f"sharded({num_shards})"
+            + (f"+concurrent({concurrent_workers})" if concurrent_workers else ""),
+            answers=[frozenset(report.answer) for report in reports],
+            aggregate=system.aggregate(),
+        )
+
+
+def run_served(
+    dataset: list[Graph],
+    workload: Workload,
+    num_shards: int = 1,
+    num_threads: int = 1,
+    max_batch_size: int = 1,
+    **config_overrides,
+) -> ArmResult:
+    """Replay the workload through the HTTP server path.
+
+    The default (one client thread, batch size 1) is fully sequential, so
+    hit counts are comparable with the in-process ``cached`` arm; larger
+    values exercise batching/concurrency, where only answers are invariant.
+    """
+    config = base_config(num_shards=num_shards, **config_overrides)
+    with QueryServer(
+        dataset,
+        config,
+        max_batch_size=max_batch_size,
+        max_queue_depth=max(256, 2 * len(workload)),
+    ) as server:
+        client = QueryServerClient.for_server(server)
+        result = replay_trace(client, workload, num_threads=num_threads)
+        aggregate = server.system.aggregate()
+    if result.served != len(workload):
+        raise AssertionError(
+            f"served arm dropped queries: {result.served}/{len(workload)} served, "
+            f"{result.rejected} rejected, {result.errors} errors"
+        )
+    return ArmResult(
+        name=f"served(shards={num_shards},threads={num_threads},batch={max_batch_size})",
+        answers=[frozenset(answer) for answer in result.answers()],
+        aggregate=aggregate,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# comparison / compact diff
+# ---------------------------------------------------------------------- #
+def diff_answers(
+    reference: ArmResult, other: ArmResult, limit: int = 5
+) -> str | None:
+    """Compact human-readable diff of two arms' answer lists (None = equal)."""
+    lines: list[str] = []
+    if len(reference.answers) != len(other.answers):
+        lines.append(
+            f"length mismatch: {reference.name} has {len(reference.answers)} "
+            f"answers, {other.name} has {len(other.answers)}"
+        )
+    mismatches = [
+        position
+        for position, (left, right) in enumerate(zip(reference.answers, other.answers))
+        if left != right
+    ]
+    for position in mismatches[:limit]:
+        left, right = reference.answers[position], other.answers[position]
+        missing = sorted(left - right, key=graph_id_sort_key)
+        unexpected = sorted(right - left, key=graph_id_sort_key)
+        lines.append(
+            f"query #{position}: missing from {other.name}: {missing or '-'} | "
+            f"unexpected in {other.name}: {unexpected or '-'}"
+        )
+    if len(mismatches) > limit:
+        lines.append(f"... and {len(mismatches) - limit} more mismatching queries")
+    if not lines:
+        return None
+    header = (
+        f"{other.name} diverges from {reference.name} "
+        f"on {len(mismatches)} of {len(reference.answers)} queries:"
+    )
+    return "\n".join([header, *lines])
+
+
+def assert_answers_equal(reference: ArmResult, *others: ArmResult) -> None:
+    """Assert byte-identical answer sets, failing with the compact diff."""
+    for other in others:
+        diff = diff_answers(reference, other)
+        assert diff is None, diff
+
+
+def assert_hit_counts_equal(reference: ArmResult, *others: ArmResult) -> None:
+    """Assert identical hit/test accounting (deterministic arms only)."""
+    expected = reference.hit_counts()
+    for other in others:
+        got = other.hit_counts()
+        assert got == expected, (
+            f"hit/miss accounting diverges: {reference.name}={expected} "
+            f"vs {other.name}={got}"
+        )

@@ -90,6 +90,23 @@ class TestRunCommands:
         assert "The Query Journey" in out
         assert "Answer Set" in out
 
+    def test_run_workload_sharded(self, capsys):
+        code = main([
+            "run-workload", "--dataset-size", "20", "--queries", "8",
+            "--cache-capacity", "10", "--window-size", "2", "--seed", "3",
+            "--feature-size", "1", "--shards", "2", "--shard-policy", "round-robin",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "The Workload Run" in out
+        assert "Developer Monitor" in out
+        # scatter-gather merge time shows up in the stage latency table
+        assert "merge" in out
+
+    def test_unknown_shard_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run-workload", "--shard-policy", "BOGUS"])
+
 
 class TestServeCommand:
     def test_serve_for_duration_and_snapshot(self, tmp_path, capsys):
@@ -123,6 +140,21 @@ class TestServeCommand:
         ])
         assert code == 0
         assert "warm-started" in capsys.readouterr().out
+
+    def test_serve_sharded_snapshot_fans_out(self, tmp_path, capsys):
+        snapshot = tmp_path / "snapshot.json"
+        code = main([
+            "serve", "--dataset-size", "10", "--port", "0", "--duration", "0.2",
+            "--cache-capacity", "8", "--window-size", "2", "--seed", "3",
+            "--feature-size", "1", "--snapshot-path", str(snapshot),
+            "--shards", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "shards=2/hash" in out
+        assert snapshot.exists()  # the manifest
+        assert (tmp_path / "snapshot-shard0.json").exists()
+        assert (tmp_path / "snapshot-shard1.json").exists()
 
 
 class TestLoadgenCommand:

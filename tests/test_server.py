@@ -265,6 +265,63 @@ class TestSnapshotLifecycle:
             client.run_query(dataset[0].copy())
         assert list(tmp_path.iterdir()) == []
 
+    def test_corrupt_snapshot_fails_loudly(self, dataset, tmp_path):
+        """A corrupt warm-cache file must raise at startup, not be silently
+        discarded (and then overwritten at shutdown)."""
+        import json as _json
+
+        snapshot = tmp_path / "corrupt.json"
+        snapshot.write_text("{not json", encoding="utf-8")
+        with pytest.raises(_json.JSONDecodeError):
+            QueryServer(dataset, snapshot_path=snapshot)
+        sharded = GCConfig(cache_capacity=10, window_size=5, num_shards=2)
+        with pytest.raises(_json.JSONDecodeError):
+            QueryServer(dataset, sharded, snapshot_path=snapshot)
+        assert snapshot.read_text(encoding="utf-8") == "{not json"  # untouched
+
+
+class TestShardedServing:
+    def test_sharded_metrics_and_snapshot_fan_out(self, dataset, tmp_path):
+        """The server accepts a sharded system transparently: per-shard
+        /metrics sections, and snapshots fan out to per-shard files."""
+        config = GCConfig(cache_capacity=25, window_size=5, num_shards=2)
+        snapshot = tmp_path / "snap.json"
+        with QueryServer(dataset, config, snapshot_path=snapshot) as server:
+            client = QueryServerClient.for_server(server)
+            for graph in dataset[:6]:
+                client.run_query(graph.copy(), "subgraph")
+            metrics = client.metrics()
+        statistics = metrics["statistics"]
+        assert statistics["num_queries"] == 6
+        assert statistics["num_shards"] == 2
+        assert set(statistics["shards"]) == {"shard0", "shard1"}
+        assert all(shard["num_queries"] == 6 for shard in statistics["shards"].values())
+        assert metrics["router"]["num_shards"] == 2
+        assert [row["shard"] for row in metrics["shards"]] == [0, 1]
+        json.dumps(metrics)  # JSON-safe end to end
+
+        # snapshot fan-out: manifest + one file per shard, restart warm
+        assert snapshot.exists()
+        assert (tmp_path / "snap-shard0.json").exists()
+        assert (tmp_path / "snap-shard1.json").exists()
+        with QueryServer(dataset, config, snapshot_path=snapshot) as restarted:
+            assert restarted.restored_entries > 0
+
+        # a different shard layout cold-starts instead of mis-restoring
+        other = GCConfig(cache_capacity=25, window_size=5, num_shards=4)
+        with QueryServer(dataset, other, snapshot_path=tmp_path / "snap.json") as cold:
+            assert cold.restored_entries == 0
+
+    def test_unsharded_restore_ignores_sharded_manifest(self, dataset, tmp_path):
+        snapshot = tmp_path / "snap.json"
+        sharded = GCConfig(cache_capacity=25, window_size=5, num_shards=2)
+        with QueryServer(dataset, sharded, snapshot_path=snapshot) as server:
+            client = QueryServerClient.for_server(server)
+            client.run_query(dataset[0].copy(), "subgraph")
+        with QueryServer(dataset, GCConfig(cache_capacity=25, window_size=5),
+                         snapshot_path=snapshot) as unsharded:
+            assert unsharded.restored_entries == 0
+
 
 class TestLifecycleEdgeCases:
     def test_bind_failure_cleans_up(self, dataset):

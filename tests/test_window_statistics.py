@@ -155,6 +155,43 @@ class TestStatisticsManager:
         assert "records" not in manager.to_dict()
         assert manager.to_dict()["num_queries"] == 1
 
+    def test_to_dict_has_no_shard_keys_without_shards(self):
+        manager = StatisticsManager()
+        manager.record(record(1))
+        snapshot = manager.to_dict()
+        assert "shards" not in snapshot and "num_shards" not in snapshot
+
+    def test_to_dict_per_shard_keys_json_round_trip(self):
+        import json
+
+        merged = StatisticsManager()
+        shard0, shard1 = StatisticsManager(), StatisticsManager()
+        merged.attach_shard("shard0", shard0)
+        merged.attach_shard("shard1", shard1)
+        # shard0 sees an infinite-speedup query (the JSON-hostile value) and
+        # the merged stream carries the summed view
+        shard0.record(record(1, baseline_tests=10, dataset_tests=0, exact=True))
+        shard1.record(record(1, baseline_tests=6, dataset_tests=6, sub_hits=0))
+        merged.record(record(1, baseline_tests=16, dataset_tests=6, exact=True))
+
+        snapshot = merged.to_dict(include_records=True)
+        decoded = json.loads(json.dumps(snapshot))  # full JSON round-trip
+
+        assert decoded["num_shards"] == 2
+        assert list(decoded["shards"]) == ["shard0", "shard1"]
+        assert decoded["shards"]["shard0"]["num_queries"] == 1
+        assert decoded["shards"]["shard0"]["aggregate"]["test_speedup"] is None
+        assert decoded["shards"]["shard1"]["aggregate"]["test_speedup"] == 1.0
+        # include_records propagates into the per-shard snapshots too
+        assert decoded["shards"]["shard0"]["records"][0]["query_type"] == "subgraph"
+        assert decoded["aggregate"]["num_exact_hits"] == 1
+
+    def test_attach_shard_rejects_self(self):
+        manager = StatisticsManager()
+        with pytest.raises(ValueError):
+            manager.attach_shard("self", manager)
+        assert manager.shard_names() == []
+
     def test_reset(self):
         manager = StatisticsManager()
         manager.record(record(1))
