@@ -27,6 +27,12 @@ RESULTS_DIR = Path(__file__).parent / "results"
 #: shrink their workloads to CI-friendly sizes while keeping the same shape.
 SMOKE_ENV_VAR = "GC_BENCH_SMOKE"
 
+#: Environment overrides (set by ``run_all.py --shards/--scatter``) that pin
+#: the shard count and scatter mode of the scatter-aware benchmarks, so CI
+#: can exercise the short-circuit configuration end to end.
+SHARDS_ENV_VAR = "GC_BENCH_SHARDS"
+SCATTER_ENV_VAR = "GC_BENCH_SCATTER"
+
 
 def smoke_mode() -> bool:
     """True when the suite runs in smoke mode (CI perf tracking)."""
@@ -36,6 +42,19 @@ def smoke_mode() -> bool:
 def smoke_scaled(full: int, smoke: int) -> int:
     """Pick a benchmark size: ``full`` normally, ``smoke`` in smoke mode."""
     return smoke if smoke_mode() else full
+
+
+def bench_shards(default: int) -> int:
+    """The shard count a scatter-aware benchmark should run at."""
+    raw = os.environ.get(SHARDS_ENV_VAR, "").strip()
+    return int(raw) if raw else default
+
+
+def bench_scatter_mode(default: str) -> str:
+    """The scatter mode a scatter-aware benchmark should treat as the arm
+    under test (``full`` or ``short-circuit``)."""
+    raw = os.environ.get(SCATTER_ENV_VAR, "").strip()
+    return raw or default
 
 
 class SimulatedLatencyMatcher(SubgraphMatcher):

@@ -34,7 +34,8 @@ REPO_ROOT = BENCH_DIR.parent
 RESULTS_DIR = BENCH_DIR / "results"
 
 
-def run_benchmarks(extra_args: list[str], smoke: bool = False) -> int:
+def run_benchmarks(extra_args: list[str], smoke: bool = False,
+                   shards: int | None = None, scatter: str | None = None) -> int:
     """Run the benchmark pytest modules; returns the pytest exit code."""
     env_path = str(REPO_ROOT / "src")
     import os
@@ -45,6 +46,10 @@ def run_benchmarks(extra_args: list[str], smoke: bool = False) -> int:
     )
     if smoke:
         env["GC_BENCH_SMOKE"] = "1"
+    if shards is not None:
+        env["GC_BENCH_SHARDS"] = str(shards)
+    if scatter is not None:
+        env["GC_BENCH_SCATTER"] = scatter
     command = [sys.executable, "-m", "pytest", str(BENCH_DIR), "-q", *extra_args]
     print("$", " ".join(command), "(smoke mode)" if smoke else "")
     return subprocess.call(command, cwd=REPO_ROOT, env=env)
@@ -82,6 +87,12 @@ def main(argv: list[str] | None = None) -> int:
                         help="only run benchmarks matching this pytest -k expression")
     parser.add_argument("--smoke", action="store_true",
                         help="CI-sized runs: benchmarks shrink their workloads")
+    parser.add_argument("--shards", type=int, default=None,
+                        help="pin the shard count of the scatter-aware "
+                             "benchmarks (GC_BENCH_SHARDS)")
+    parser.add_argument("--scatter", choices=["full", "short-circuit"], default=None,
+                        help="scatter mode the scatter-aware benchmarks treat "
+                             "as the arm under test (GC_BENCH_SCATTER)")
     parser.add_argument("pytest_args", nargs="*",
                         help="extra arguments passed through to pytest")
     args = parser.parse_args(argv)
@@ -89,7 +100,8 @@ def main(argv: list[str] | None = None) -> int:
     extra = list(args.pytest_args)
     if args.keyword:
         extra += ["-k", args.keyword]
-    exit_code = run_benchmarks(extra, smoke=args.smoke)
+    exit_code = run_benchmarks(extra, smoke=args.smoke,
+                               shards=args.shards, scatter=args.scatter)
     manifest = collate(exit_code, smoke=args.smoke)
     print(f"wrote {manifest}")
     return exit_code

@@ -115,6 +115,11 @@ class GraphCache:
         self.maintenance: CacheMaintenanceWorker | None = (
             CacheMaintenanceWorker(self) if async_maintenance else None
         )
+        #: Callbacks invoked (outside the cache locks) whenever the resident
+        #: entry set changed — admission, eviction, warm.  A sharded system
+        #: hangs its shard-summary refresh here; callbacks must be cheap and
+        #: must not mutate the cache.
+        self._content_listeners: list = []
 
     # ------------------------------------------------------------------ #
     # clock
@@ -277,22 +282,39 @@ class GraphCache:
         """Apply one admission offer (window + replacement) under the write lock.
 
         This is the synchronous half of :meth:`offer`; the maintenance worker
-        calls it from its own thread when async maintenance is enabled.
+        calls it from its own thread when async maintenance is enabled (so
+        content listeners then also fire off the query critical path).
         """
         with self._lock.write_locked():
             batch = self.window.offer(entry, tests_performed)
-            if batch is None:
-                return None
-            return self._apply_replacement(batch)
+            report = self._apply_replacement(batch) if batch is not None else None
+        if report is not None:
+            self._notify_content_changed()
+        return report
 
     def flush_window(self) -> EvictionReport | None:
         """Force the pending window into the cache (end of a workload)."""
         self.drain_maintenance()
         with self._lock.write_locked():
             batch = self.window.flush()
-            if not batch:
-                return None
-            return self._apply_replacement(batch)
+            report = self._apply_replacement(batch) if batch else None
+        if report is not None:
+            self._notify_content_changed()
+        return report
+
+    def add_content_listener(self, listener) -> None:
+        """Register a zero-argument callback fired after resident changes.
+
+        Listeners run *outside* the cache locks, on whichever thread applied
+        the change — the maintenance worker's thread under async
+        maintenance, the query thread otherwise — so they may read the cache
+        but must stay cheap on the synchronous path.
+        """
+        self._content_listeners.append(listener)
+
+    def _notify_content_changed(self) -> None:
+        for listener in self._content_listeners:
+            listener()
 
     def drain_maintenance(self) -> None:
         """Wait for the maintenance worker to apply every pending offer."""
@@ -348,6 +370,7 @@ class GraphCache:
 
         Entries are inserted directly (bypassing the window) up to capacity.
         """
+        added = 0
         with self._lock.write_locked():
             for entry in entries:
                 if len(self.store) >= self.capacity:
@@ -356,6 +379,9 @@ class GraphCache:
                     continue
                 self.store.add(entry)
                 self.query_index.add(entry)
+                added += 1
+        if added:
+            self._notify_content_changed()
 
     # ------------------------------------------------------------------ #
     # introspection

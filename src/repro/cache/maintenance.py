@@ -37,6 +37,8 @@ class MaintenanceStats:
 
     submitted: int = 0
     processed: int = 0
+    #: Generic maintenance tasks (e.g. shard-summary refreshes) executed.
+    tasks: int = 0
     errors: int = 0
     last_error: str | None = None
 
@@ -79,6 +81,21 @@ class CacheMaintenanceWorker:
                 return
         self._cache.apply_offer(entry, tests_performed)
 
+    def submit_task(self, task) -> None:
+        """Enqueue a generic maintenance callable (non-blocking).
+
+        The sharded system uses this to refresh shard summaries off the
+        query critical path after cache content changes.  If the worker has
+        stopped, the task runs synchronously instead of being lost.
+        """
+        with self._lifecycle_lock:
+            if not self._stopped:
+                with self._stats_lock:
+                    self._stats.submitted += 1
+                self._queue.put(task)
+                return
+        task()
+
     def drain(self) -> None:
         """Block until every submitted offer has been applied."""
         self._queue.join()
@@ -108,6 +125,7 @@ class CacheMaintenanceWorker:
             return MaintenanceStats(
                 submitted=self._stats.submitted,
                 processed=self._stats.processed,
+                tasks=self._stats.tasks,
                 errors=self._stats.errors,
                 last_error=self._stats.last_error,
             )
@@ -121,17 +139,25 @@ class CacheMaintenanceWorker:
             if item is _STOP:
                 self._queue.task_done()
                 return
-            entry, tests_performed = item
+            is_task = callable(item)
             try:
-                self._cache.apply_offer(entry, tests_performed)
+                if is_task:
+                    item()
+                else:
+                    entry, tests_performed = item
+                    self._cache.apply_offer(entry, tests_performed)
             except Exception as exc:  # noqa: BLE001 - the worker must survive
-                # a failed admission may lose one cache entry but must never
-                # kill the thread: drain()/join() would then block forever
-                logger.warning("cache maintenance: admission failed: %s", exc)
+                # a failed admission/task may lose one cache entry or one
+                # summary refresh but must never kill the thread:
+                # drain()/join() would then block forever
+                logger.warning("cache maintenance: %s failed: %s",
+                               "task" if is_task else "admission", exc)
                 with self._stats_lock:
                     self._stats.errors += 1
                     self._stats.last_error = f"{type(exc).__name__}: {exc}"
             finally:
                 with self._stats_lock:
                     self._stats.processed += 1
+                    if is_task:
+                        self._stats.tasks += 1
                 self._queue.task_done()

@@ -193,6 +193,31 @@ class StatisticsManager:
             aggregate.time_speedup = aggregate.total_baseline_seconds / aggregate.total_seconds
         return aggregate
 
+    def observed_test_cost(self, default: float = 0.0) -> float:
+        """Mean seconds per dataset sub-iso test over every recorded query.
+
+        The price signal cost-based shard-aware admission multiplies planned
+        candidate counts by; ``default`` is returned until the manager has
+        seen at least one actual dataset test (cold start).
+        """
+        records = self.records()
+        tests = sum(record.dataset_tests for record in records)
+        if tests <= 0:
+            return default
+        return sum(record.verify_seconds for record in records) / tests
+
+    def mean_dataset_tests(self, default: float = 0.0) -> float:
+        """Mean dataset sub-iso tests per recorded query (``default`` when empty).
+
+        Used as the planned candidate count of an already-observed shard —
+        it reflects how much work the shard's cache actually leaves over,
+        unlike the raw partition size.
+        """
+        records = self.records()
+        if not records:
+            return default
+        return sum(record.dataset_tests for record in records) / len(records)
+
     def stage_breakdown(self) -> list[dict[str, float]]:
         """Per-pipeline-stage latency summary over every recorded query.
 

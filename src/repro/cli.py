@@ -46,7 +46,7 @@ from repro.graph import (
 from repro.graph.operations import random_connected_subgraph
 from repro.methods.registry import available_methods
 from repro.runtime import GCConfig
-from repro.runtime.config import SHARD_POLICIES
+from repro.runtime.config import ADMISSION_MODES, SCATTER_MODES, SHARD_POLICIES
 from repro.server import QueryServer
 from repro.sharding import make_system
 from repro.workload import (
@@ -97,6 +97,14 @@ def build_parser() -> argparse.ArgumentParser:
                              "(1 = single system)")
     common.add_argument("--shard-policy", default="hash", choices=list(SHARD_POLICIES),
                         help="how graphs are routed to shards")
+    common.add_argument("--scatter", default="full", choices=list(SCATTER_MODES),
+                        help="scatter strategy: 'full' sends every query to every "
+                             "shard; 'short-circuit' skips shards whose feature "
+                             "summary proves they cannot contribute answers")
+    common.add_argument("--admission-mode", default="queue-depth",
+                        choices=list(ADMISSION_MODES),
+                        help="serving admission: bounded queue only, or cost-based "
+                             "per-shard backpressure (serve command)")
 
     run = subparsers.add_parser("run-workload", parents=[common],
                                 help="run a workload over GC and print the dashboards")
@@ -177,6 +185,8 @@ def _config_from_args(args, policy: str | None = None) -> GCConfig:
         async_maintenance=getattr(args, "async_maintenance", False),
         num_shards=getattr(args, "shards", 1),
         shard_policy=getattr(args, "shard_policy", "hash"),
+        scatter_mode=getattr(args, "scatter", "full"),
+        admission_mode=getattr(args, "admission_mode", "queue-depth"),
     )
 
 
@@ -205,6 +215,13 @@ def cmd_run_workload(args) -> int:
         print(WorkloadRunView(result).render_text())
         print()
         print(DeveloperMonitor(system).render_text())
+        if result.scatter is not None:
+            stats = result.scatter["stats"]
+            print()
+            print(f"Scatter ({result.scatter['mode']}): "
+                  f"mean fan-out {stats['mean_fanout']:.2f} of {args.shards} shards, "
+                  f"skip rate {stats['skip_rate']:.1%}, "
+                  f"summary fallbacks {stats['summary_fallbacks']}")
         if result.stage_breakdown:
             print()
             print("Pipeline stage latency")

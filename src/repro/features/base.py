@@ -14,6 +14,8 @@ is storing.
 from __future__ import annotations
 
 import abc
+import functools
+import operator
 from collections import Counter
 from collections.abc import Hashable
 
@@ -55,6 +57,32 @@ class FeatureExtractor(abc.ABC):
     ) -> list[FeatureKey]:
         """Feature keys of ``contained`` whose multiplicity exceeds ``container``."""
         return [key for key, count in contained.items() if container.get(key, 0) < count]
+
+    # ------------------------------------------------------------------ #
+    # partition summaries (shard pruning)
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def multiset_union(multisets: list[Counter[FeatureKey]]) -> Counter[FeatureKey]:
+        """Pointwise *maximum* over the multisets (the partition's ceiling).
+
+        If a query needs more of some feature than this union supplies, then
+        no member graph can contain the query — the screen shard pruning
+        applies to subgraph queries.
+        """
+        return functools.reduce(operator.or_, multisets, Counter())
+
+    @staticmethod
+    def multiset_common(multisets: list[Counter[FeatureKey]]) -> Counter[FeatureKey]:
+        """Pointwise *minimum* over the multisets (the partition's floor).
+
+        Every member graph carries at least these feature counts, so a
+        supergraph query providing fewer of some floor feature cannot contain
+        *any* member — the dual screen for supergraph-query shard pruning.
+        An empty input yields an empty floor.
+        """
+        if not multisets:
+            return Counter()
+        return functools.reduce(operator.and_, multisets[1:], Counter(multisets[0]))
 
 
 class CompositeExtractor(FeatureExtractor):

@@ -226,6 +226,52 @@ def protein_like_graph(
     return graph
 
 
+def label_clustered_dataset(
+    num_clusters: int,
+    graphs_per_cluster: int,
+    num_vertices: tuple[int, int] = (8, 14),
+    labels_per_cluster: int = 4,
+    edge_probability: float = 0.15,
+    rng: _random.Random | int | None = None,
+) -> list[Graph]:
+    """A dataset of label-disjoint clusters, shard-aligned under ``hash``.
+
+    Cluster ``c`` draws its vertex labels from a private alphabet
+    ``C<c>L0..``, modelling per-source ingest locality (each data source
+    contributes structurally distinct graphs).  Graph ids are chosen so that
+    the stable crc32 id hash routes cluster ``c`` onto shard ``c`` when
+    ``num_shards == num_clusters`` under the ``hash`` policy — the
+    NeedleTail-style locality regime where per-shard feature summaries make
+    short-circuit scatter effective (a query touching one cluster's labels
+    is provably unanswerable everywhere else).
+    """
+    # deferred import: the router depends on the graph model, not vice versa
+    from repro.sharding.router import stable_graph_id_hash
+
+    if num_clusters < 1 or graphs_per_cluster < 1:
+        raise GraphError("num_clusters and graphs_per_cluster must be positive")
+    rng = _resolve_rng(rng)
+    lo, hi = num_vertices
+    dataset: list[Graph] = []
+    for cluster in range(num_clusters):
+        produced = 0
+        candidate = 0
+        while produced < graphs_per_cluster:
+            graph_id = f"c{cluster}-{candidate}"
+            candidate += 1
+            if stable_graph_id_hash(graph_id) % num_clusters != cluster:
+                continue  # keep ids whose hash lands the graph on shard `cluster`
+            graph = random_labelled_graph(
+                rng.randint(lo, hi), edge_probability,
+                num_labels=labels_per_cluster, rng=rng, graph_id=graph_id,
+            )
+            for vertex in graph.vertices():
+                graph.set_label(vertex, f"C{cluster}{graph.label(vertex)}")
+            dataset.append(graph)
+            produced += 1
+    return dataset
+
+
 def synthetic_dataset(
     num_graphs: int,
     kind: str = "molecule",

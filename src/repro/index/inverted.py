@@ -110,6 +110,28 @@ class InvertedFeatureIndex(DatasetIndex):
         except KeyError:
             raise IndexError_(f"graph id {graph_id!r} is not indexed") from None
 
+    def summary_vectors(self) -> tuple[Counter[FeatureKey], Counter[FeatureKey]]:
+        """``(union, common)`` feature vectors over every indexed graph.
+
+        The union is the pointwise maximum of the per-graph multisets, the
+        common vector the pointwise minimum — the NeedleTail-style density
+        summary a shard publishes so a scatter planner can prove the shard
+        cannot contribute answers to a query.  Derived from the per-graph
+        multisets the index already holds, so no re-extraction is needed —
+        but pruning against these vectors is only sound for queries screened
+        with the *same* extractor family this index was built with.  The
+        sharded system deliberately does not use this shortcut: its
+        summaries are built with a method-independent extractor
+        (``ShardSummary.build``), so they stay sound for every Method M,
+        including index-free direct SI.
+        """
+        self._require_built()
+        multisets = list(self._graph_features.values())
+        return (
+            FeatureExtractor.multiset_union(multisets),
+            FeatureExtractor.multiset_common(multisets),
+        )
+
     def memory_bytes(self) -> int:
         """Approximate memory footprint of the postings and per-graph multisets."""
         return estimate_object_bytes(self._postings) + estimate_object_bytes(

@@ -17,6 +17,24 @@ from repro.errors import ConfigurationError
 #: imports the sharding machinery (which itself depends on this module).
 SHARD_POLICIES = ("hash", "round-robin", "size-balanced")
 
+#: How a sharded system scatters queries (:mod:`repro.sharding.planner`):
+#: ``full`` sends every query to every shard; ``short-circuit`` consults the
+#: per-shard feature/size summaries and skips shards that provably cannot
+#: contribute answers (NeedleTail-style density/locality pruning).
+SCATTER_MODES = ("full", "short-circuit")
+
+#: How the request batcher admits queries (:mod:`repro.server.batcher`):
+#: ``queue-depth`` rejects on the bounded queue alone; ``cost-based``
+#: additionally estimates per-shard batch cost (planned candidate count ×
+#: observed per-test cost) and rejects per shard, so a skewed workload
+#: backpressures only the hot shard.
+ADMISSION_MODES = ("queue-depth", "cost-based")
+
+#: Per sub-iso test cost (seconds) assumed before any verification work has
+#: been observed — keeps cold-start cost-based admission permissive but not
+#: free.  Shared by the scatter planner and the request batcher.
+DEFAULT_TEST_COST_SECONDS = 1e-4
+
 
 @dataclass
 class GCConfig:
@@ -68,6 +86,13 @@ class GCConfig:
     #: dataset: ``hash`` (stable graph-id hash), ``round-robin`` (dataset
     #: order) or ``size-balanced`` (greedy largest-first balancing).
     shard_policy: str = "hash"
+    #: Scatter strategy of a sharded system: ``full`` (every query to every
+    #: shard) or ``short-circuit`` (the :class:`ScatterPlanner` skips shards
+    #: whose :class:`ShardSummary` proves they cannot contribute answers).
+    scatter_mode: str = "full"
+    #: Serving admission strategy: ``queue-depth`` (bounded queue only) or
+    #: ``cost-based`` (per-shard estimated batch cost backpressure).
+    admission_mode: str = "queue-depth"
 
     # --- accounting ------------------------------------------------------
     #: When True, each query is *also* executed by plain Method M so that the
@@ -106,6 +131,16 @@ class GCConfig:
             raise ConfigurationError(
                 f"unknown shard_policy {self.shard_policy!r}; "
                 f"available: {', '.join(SHARD_POLICIES)}"
+            )
+        if self.scatter_mode not in SCATTER_MODES:
+            raise ConfigurationError(
+                f"unknown scatter_mode {self.scatter_mode!r}; "
+                f"available: {', '.join(SCATTER_MODES)}"
+            )
+        if self.admission_mode not in ADMISSION_MODES:
+            raise ConfigurationError(
+                f"unknown admission_mode {self.admission_mode!r}; "
+                f"available: {', '.join(ADMISSION_MODES)}"
             )
 
     def to_dict(self) -> dict:

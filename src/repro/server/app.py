@@ -45,9 +45,14 @@ class QueryServer:
     With ``config.num_shards > 1`` the server fronts a
     :class:`~repro.sharding.system.ShardedGraphCacheSystem`: queries are
     scattered across the shards and merged transparently, ``/metrics`` grows
-    a per-shard section, and cache snapshots fan out to per-shard files.
-    ``method`` may then be a zero-argument factory (each shard builds its own
-    Method M over its partition); a built instance only fits one shard.
+    per-shard and ``scatter`` sections (skip rates, fan-out, summary health),
+    and cache snapshots fan out to per-shard files.  With
+    ``config.scatter_mode="short-circuit"`` the scatter planner prunes shards
+    that provably cannot contribute; with
+    ``config.admission_mode="cost-based"`` the batcher prices each query per
+    shard and backpressures only hot shards.  ``method`` may then be a
+    zero-argument factory (each shard builds its own Method M over its
+    partition); a built instance only fits one shard.
     """
 
     def __init__(
@@ -63,6 +68,7 @@ class QueryServer:
         batch_workers: int | None = None,
         snapshot_path: str | Path | None = None,
         request_timeout_seconds: float = 60.0,
+        max_shard_cost_seconds: float = 0.25,
     ) -> None:
         self.system = make_system(dataset, config, method=method)
         try:
@@ -83,6 +89,8 @@ class QueryServer:
                 max_delay_seconds=max_delay_seconds,
                 max_queue_depth=max_queue_depth,
                 batch_workers=batch_workers,
+                admission_mode=self.system.config.admission_mode,
+                max_shard_cost_seconds=max_shard_cost_seconds,
             )
         except Exception:
             self._httpd.server_close()
@@ -151,7 +159,10 @@ class QueryServer:
         try:
             future = self.batcher.submit(query)
         except AdmissionRejectedError as exc:
-            return 429, {"error": str(exc), "queue_depth": exc.queue_depth}
+            payload = {"error": str(exc), "queue_depth": exc.queue_depth}
+            if exc.shard is not None:
+                payload["shard"] = exc.shard
+            return 429, payload
         except ServerClosedError as exc:
             return 503, {"error": str(exc)}
         try:
@@ -183,6 +194,9 @@ class QueryServer:
         if describe_shards is not None:
             payload["shards"] = json_safe(describe_shards())
             payload["router"] = json_safe(self.system.router.describe())
+            # skip rates, mean fan-out, summary health and per-shard cost
+            # signals: what short-circuit scatter + cost-based admission did
+            payload["scatter"] = json_safe(self.system.scatter_metrics())
         elif self.system.cache is not None:
             payload["cache"] = json_safe(self.system.cache.describe())
         return payload

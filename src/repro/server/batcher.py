@@ -2,7 +2,13 @@
 
 The serving hot path of the subsystem.  Incoming queries land in a *bounded*
 admission queue (backpressure: a full queue rejects the request — the HTTP
-layer maps that to 429).  A single dispatcher thread pulls the queue and
+layer maps that to 429).  With ``admission_mode="cost-based"`` admission is
+additionally *shard-aware*: each query's scatter plan is priced per shard
+(planned candidate count × the shard's observed per-test cost, via
+``estimate_shard_costs``) and reserved against a per-shard outstanding-cost
+budget, so a skewed workload exhausts — and 429s on — only the hot shard
+while queries for the other shards keep flowing.  A single dispatcher
+thread pulls the queue and
 coalesces up to ``max_batch_size`` queries — waiting at most
 ``max_delay_seconds`` for stragglers once the first query of a batch is in
 hand — then executes the whole batch through
@@ -24,12 +30,13 @@ import queue
 import threading
 import time
 from concurrent.futures import Future
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from typing import TYPE_CHECKING, Union
 
 from repro.errors import AdmissionRejectedError, ConfigurationError, ServerClosedError
 from repro.query_model import Query
+from repro.runtime.config import ADMISSION_MODES
 from repro.runtime.report import QueryReport
 from repro.runtime.system import GraphCacheSystem
 
@@ -57,6 +64,9 @@ class _Pending:
     query: Query
     future: Future
     enqueued_at: float
+    #: Per-shard estimated cost (seconds) reserved at admission under
+    #: cost-based mode; released when the query's batch completes.
+    costs: dict[int, float] | None = None
 
 
 @dataclass
@@ -65,11 +75,17 @@ class BatcherStats:
 
     submitted: int = 0
     rejected: int = 0
+    #: Rejections charged to a specific shard's cost budget (a subset of
+    #: ``rejected``) — nonzero means shard-aware backpressure engaged.
+    rejected_cost: int = 0
     served: int = 0
     failed: int = 0
     batches: int = 0
     largest_batch: int = 0
     queue_depth: int = 0
+    admission_mode: str = "queue-depth"
+    #: Outstanding estimated cost (seconds) reserved per shard right now.
+    shard_outstanding: dict = field(default_factory=dict)
 
     @property
     def mean_batch_size(self) -> float:
@@ -79,12 +95,18 @@ class BatcherStats:
         return {
             "submitted": self.submitted,
             "rejected": self.rejected,
+            "rejected_cost": self.rejected_cost,
             "served": self.served,
             "failed": self.failed,
             "batches": self.batches,
             "largest_batch": self.largest_batch,
             "mean_batch_size": round(self.mean_batch_size, 3),
             "queue_depth": self.queue_depth,
+            "admission_mode": self.admission_mode,
+            "shard_outstanding_seconds": {
+                str(shard): round(cost, 6)
+                for shard, cost in sorted(self.shard_outstanding.items())
+            },
         }
 
 
@@ -104,6 +126,8 @@ class RequestBatcher:
         max_delay_seconds: float = 0.005,
         max_queue_depth: int = 64,
         batch_workers: int | None = None,
+        admission_mode: str = "queue-depth",
+        max_shard_cost_seconds: float = 0.25,
     ) -> None:
         if max_batch_size < 1:
             raise ConfigurationError("max_batch_size must be at least 1")
@@ -113,13 +137,28 @@ class RequestBatcher:
             raise ConfigurationError("max_queue_depth must be at least 1")
         if batch_workers is not None and batch_workers < 1:
             raise ConfigurationError("batch_workers must be at least 1 or None")
+        if admission_mode not in ADMISSION_MODES:
+            raise ConfigurationError(
+                f"unknown admission_mode {admission_mode!r}; "
+                f"available: {', '.join(ADMISSION_MODES)}"
+            )
+        if max_shard_cost_seconds <= 0:
+            raise ConfigurationError("max_shard_cost_seconds must be positive")
         self.system = system
         self.max_batch_size = max_batch_size
         self.max_delay_seconds = max_delay_seconds
         self.batch_workers = batch_workers or max_batch_size
+        self.admission_mode = admission_mode
+        #: Per-shard budget of outstanding estimated verification seconds;
+        #: a query whose plan touches a shard over budget is rejected while
+        #: queries for the other shards keep flowing.
+        self.max_shard_cost_seconds = max_shard_cost_seconds
         self._queue: queue.Queue = queue.Queue(maxsize=max_queue_depth)
-        self._stats = BatcherStats()
+        self._stats = BatcherStats(admission_mode=admission_mode)
         self._stats_lock = threading.Lock()
+        #: Estimated cost (seconds) reserved per shard for queries admitted
+        #: but not yet completed; guarded by ``_stats_lock``.
+        self._outstanding: dict[int, float] = {}
         #: Serialises the closed-check + enqueue in :meth:`submit` against
         #: :meth:`close` setting the flag, so the stop marker is strictly the
         #: last item ever queued and no admitted future can be orphaned.
@@ -137,16 +176,23 @@ class RequestBatcher:
     def submit(self, query: Query) -> Future:
         """Enqueue one query; the future resolves to a :class:`ServedQuery`.
 
-        Raises :class:`AdmissionRejectedError` when the bounded queue is full
-        (backpressure) and :class:`ServerClosedError` once draining started.
+        Raises :class:`AdmissionRejectedError` when the bounded queue is
+        full, or — in cost-based mode — when a shard the query's scatter
+        plan targets has exhausted its outstanding-cost budget (the error
+        then names the hot shard); :class:`ServerClosedError` once draining
+        started.
         """
         pending = _Pending(query=query, future=Future(), enqueued_at=time.monotonic())
+        if self.admission_mode == "cost-based":
+            pending.costs = self._reserve_costs(query)
         with self._admission_lock:
             if self._closed:
+                self._release_costs(pending)
                 raise ServerClosedError("batcher is shut down; no new queries accepted")
             try:
                 self._queue.put_nowait(pending)
             except queue.Full:
+                self._release_costs(pending)
                 with self._stats_lock:
                     self._stats.rejected += 1
                 raise AdmissionRejectedError(self._queue.maxsize) from None
@@ -154,14 +200,58 @@ class RequestBatcher:
             self._stats.submitted += 1
         return pending.future
 
+    # ------------------------------------------------------------------ #
+    # cost-based shard-aware admission
+    # ------------------------------------------------------------------ #
+    def _reserve_costs(self, query: Query) -> dict[int, float]:
+        """Estimate and reserve per-shard cost, rejecting on a hot shard.
+
+        A shard with *nothing* outstanding always admits (no starvation when
+        one query alone exceeds the budget); beyond that, outstanding + new
+        must stay within ``max_shard_cost_seconds`` per shard.
+        """
+        costs = self.system.estimate_shard_costs(query)
+        # an unsharded system prices itself as pseudo-shard 0; rejections
+        # then must not name a shard the operator could go looking for
+        sharded = getattr(self.system, "shards", None) is not None
+        with self._stats_lock:
+            for shard, cost in sorted(costs.items()):
+                outstanding = self._outstanding.get(shard, 0.0)
+                if outstanding > 0.0 and outstanding + cost > self.max_shard_cost_seconds:
+                    self._stats.rejected += 1
+                    self._stats.rejected_cost += 1
+                    raise AdmissionRejectedError(
+                        self._queue.qsize(),
+                        shard=shard if sharded else None,
+                        estimated_cost_seconds=cost,
+                    )
+            for shard, cost in costs.items():
+                self._outstanding[shard] = self._outstanding.get(shard, 0.0) + cost
+        return costs
+
+    def _release_costs(self, pending: _Pending) -> None:
+        """Return a completed/refused query's reserved cost to its shards."""
+        if not pending.costs:
+            return
+        with self._stats_lock:
+            for shard, cost in pending.costs.items():
+                remaining = self._outstanding.get(shard, 0.0) - cost
+                if remaining <= 1e-12:
+                    self._outstanding.pop(shard, None)
+                else:
+                    self._outstanding[shard] = remaining
+        pending.costs = None
+
     def stats(self) -> BatcherStats:
         """A point-in-time copy of the serving counters."""
         with self._stats_lock:
             snapshot = BatcherStats(**{
-                field: getattr(self._stats, field)
-                for field in ("submitted", "rejected", "served", "failed",
-                              "batches", "largest_batch")
+                name: getattr(self._stats, name)
+                for name in ("submitted", "rejected", "rejected_cost", "served",
+                             "failed", "batches", "largest_batch")
             })
+            snapshot.shard_outstanding = dict(self._outstanding)
+        snapshot.admission_mode = self.admission_mode
         snapshot.queue_depth = self._queue.qsize()
         return snapshot
 
@@ -194,6 +284,7 @@ class RequestBatcher:
             if self._closed and not self._drain_on_close:
                 # closing without drain: refuse instead of executing (the
                 # stop marker is FIFO-queued behind these, so check the flag)
+                self._release_costs(head)
                 head.future.set_exception(
                     ServerClosedError("batcher shut down before this query ran")
                 )
@@ -228,6 +319,7 @@ class RequestBatcher:
             )
         except Exception as exc:  # propagate to every caller in the batch
             for pending in batch:
+                self._release_costs(pending)
                 pending.future.set_exception(exc)
             with self._stats_lock:
                 self._stats.batches += 1
@@ -235,6 +327,7 @@ class RequestBatcher:
                 self._stats.largest_batch = max(self._stats.largest_batch, len(batch))
             return
         for pending, report in zip(batch, reports):
+            self._release_costs(pending)
             pending.future.set_result(
                 ServedQuery(
                     report=report,

@@ -8,8 +8,10 @@ report (:class:`ShardedGraphCacheSystem`).  :func:`make_system` dispatches on
 agnostic of whether they hold a sharded or an unsharded engine.
 """
 
-from repro.runtime.config import SHARD_POLICIES
+from repro.runtime.config import SCATTER_MODES, SHARD_POLICIES
+from repro.sharding.planner import PLAN_STAGE, ScatterPlan, ScatterPlanner, ScatterStats
 from repro.sharding.router import ShardRouter, stable_graph_id_hash
+from repro.sharding.summary import ShardSummary, resident_key
 from repro.sharding.system import (
     MERGE_STAGE,
     ShardedGraphCacheSystem,
@@ -18,11 +20,18 @@ from repro.sharding.system import (
 )
 
 __all__ = [
+    "SCATTER_MODES",
     "SHARD_POLICIES",
     "ShardRouter",
+    "ShardSummary",
     "ShardedGraphCacheSystem",
+    "ScatterPlan",
+    "ScatterPlanner",
+    "ScatterStats",
     "MERGE_STAGE",
+    "PLAN_STAGE",
     "make_system",
+    "resident_key",
     "shard_snapshot_path",
     "stable_graph_id_hash",
 ]

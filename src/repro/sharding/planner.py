@@ -1,0 +1,222 @@
+"""ScatterPlanner: decide, per query, which shards must be scattered to.
+
+PR 3's scatter-gather engine sends every query to every shard, so adding
+shards buys parallelism but never reduces total filter/verify work.  The
+planner closes that gap: it consults each shard's :class:`ShardSummary`
+(union/common feature vectors, label set, size envelope, resident cache
+keys) and *proves* which shards cannot contribute answers; only the
+survivors are scattered to.  Tuffy-style, the cost model rides on the same
+plan: per targeted shard the planner estimates the batch cost (planned
+candidate count × the shard's observed per-test cost) so the request
+batcher can backpressure a hot shard without starving the cold ones.
+
+Safety invariants, locked by the differential + property suites:
+
+* every skip is backed by a sound summary screen — a skipped shard
+  contributes **zero** answers under full scatter;
+* a shard whose summary is unusable (stale flag, broken integrity seal) is
+  **always scattered to** — degraded coverage, never dropped answers — and
+  the fallback is counted so ``/metrics`` surfaces the event;
+* ``full`` mode never consults summaries at all (the PR 3 behaviour).
+
+Planning time is booked as its own ``plan`` pipeline stage on merged
+reports (:data:`PLAN_STAGE`), next to the existing ``merge`` stage.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.features.base import FeatureExtractor
+from repro.query_model import Query
+from repro.runtime.config import SCATTER_MODES
+from repro.sharding.summary import ShardSummary, resident_key
+
+#: Stage name under which per-query scatter planning time is accounted.
+PLAN_STAGE = "plan"
+
+
+@dataclass
+class ScatterPlan:
+    """The planner's verdict for one query."""
+
+    query_id: int
+    #: Shard indices the query must be scattered to, ascending.
+    targets: list[int] = field(default_factory=list)
+    #: Pruned shards → the sound reason each cannot contribute.
+    skipped: dict[int, str] = field(default_factory=dict)
+    #: Shards scattered to *despite* an unusable summary (degraded mode).
+    fallbacks: list[int] = field(default_factory=list)
+    #: Targeted shards whose cache holds the query's exact-match key — they
+    #: will answer their partition from cache (≈ zero verification cost).
+    exact_shards: list[int] = field(default_factory=list)
+    plan_seconds: float = 0.0
+
+    @property
+    def fanout(self) -> int:
+        """Number of shards actually scattered to."""
+        return len(self.targets)
+
+    def to_dict(self) -> dict:
+        """JSON-safe view (stamped into ``query.metadata`` by the system)."""
+        return {
+            "targets": list(self.targets),
+            "skipped": dict(self.skipped),
+            "fallbacks": list(self.fallbacks),
+            "exact_shards": list(self.exact_shards),
+            "fanout": self.fanout,
+        }
+
+
+class ScatterStats:
+    """Thread-safe counters over every plan the planner produced."""
+
+    def __init__(self, num_shards: int) -> None:
+        self._lock = threading.Lock()
+        self.num_shards = num_shards
+        self.queries = 0
+        self.scattered_total = 0
+        self.skipped_total = 0
+        self.fallbacks = 0
+        self.zero_target_queries = 0
+        self.exact_routed = 0
+        self.skip_reasons: dict[str, int] = {}
+        self.per_shard_scattered = [0] * num_shards
+        self.per_shard_skipped = [0] * num_shards
+
+    def observe(self, plan: ScatterPlan) -> None:
+        with self._lock:
+            self.queries += 1
+            self.scattered_total += len(plan.targets)
+            self.skipped_total += len(plan.skipped)
+            self.fallbacks += len(plan.fallbacks)
+            if not plan.targets:
+                self.zero_target_queries += 1
+            if plan.exact_shards:
+                self.exact_routed += 1
+            for reason in plan.skipped.values():
+                self.skip_reasons[reason] = self.skip_reasons.get(reason, 0) + 1
+            for shard in plan.targets:
+                self.per_shard_scattered[shard] += 1
+            for shard in plan.skipped:
+                self.per_shard_skipped[shard] += 1
+
+    @property
+    def mean_fanout(self) -> float:
+        """Average number of shards scattered to per planned query."""
+        return self.scattered_total / self.queries if self.queries else 0.0
+
+    @property
+    def skip_rate(self) -> float:
+        """Fraction of (query, shard) pairs the planner proved skippable."""
+        pairs = self.queries * self.num_shards
+        return self.skipped_total / pairs if pairs else 0.0
+
+    def to_dict(self) -> dict:
+        with self._lock:
+            return {
+                "queries": self.queries,
+                "mean_fanout": round(self.mean_fanout, 4),
+                "skip_rate": round(self.skip_rate, 4),
+                "scattered_total": self.scattered_total,
+                "skipped_total": self.skipped_total,
+                "summary_fallbacks": self.fallbacks,
+                "zero_target_queries": self.zero_target_queries,
+                "exact_routed_queries": self.exact_routed,
+                "skip_reasons": dict(self.skip_reasons),
+                "per_shard_scattered": list(self.per_shard_scattered),
+                "per_shard_skipped": list(self.per_shard_skipped),
+            }
+
+
+class ScatterPlanner:
+    """Summary-driven scatter planning over a fixed set of shards."""
+
+    def __init__(
+        self,
+        summaries: list[ShardSummary],
+        mode: str = "full",
+        extractor: FeatureExtractor | None = None,
+    ) -> None:
+        if mode not in SCATTER_MODES:
+            raise ConfigurationError(
+                f"unknown scatter mode {mode!r}; available: {', '.join(SCATTER_MODES)}"
+            )
+        if not summaries:
+            raise ConfigurationError("the planner needs at least one shard summary")
+        self.mode = mode
+        self.summaries = list(summaries)
+        #: The feature family queries are screened with; must be the family
+        #: the summaries were built with (soundness depends on it).
+        self.extractor = extractor
+        self.stats = ScatterStats(len(summaries))
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.summaries)
+
+    def plan(self, query: Query, record: bool = True) -> ScatterPlan:
+        """Plan one query; with ``record=False`` the stats are untouched
+        (used for admission-time cost probes that precede the real run)."""
+        started = time.perf_counter()
+        plan = ScatterPlan(query_id=query.query_id)
+        if self.mode == "full" or self.extractor is None:
+            plan.targets = list(range(self.num_shards))
+        else:
+            features = self.extractor.extract(query.graph)
+            key = resident_key(query.graph, query.query_type)
+            for summary in self.summaries:
+                if not summary.usable():
+                    # stale/corrupt summary: never trust it to prune — scatter
+                    # to the shard and surface the degradation in the stats
+                    plan.targets.append(summary.shard)
+                    plan.fallbacks.append(summary.shard)
+                    continue
+                reason = summary.prune_reason(query, features)
+                if reason is not None:
+                    plan.skipped[summary.shard] = reason
+                    continue
+                plan.targets.append(summary.shard)
+                if summary.holds_exact(key):
+                    plan.exact_shards.append(summary.shard)
+        plan.plan_seconds = time.perf_counter() - started
+        if record:
+            self.stats.observe(plan)
+        return plan
+
+    # ------------------------------------------------------------------ #
+    # cost model (shard-aware admission)
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def estimate_cost(candidates: int, per_test_cost: float) -> float:
+        """Estimated verification seconds for ``candidates`` planned tests.
+
+        Deliberately the simplest sound model — monotone non-decreasing in
+        the candidate count and in the per-test cost (the property suite
+        pins this down), never negative.
+        """
+        return max(0, candidates) * max(per_test_cost, 0.0)
+
+    def shard_costs(
+        self, plan: ScatterPlan, per_test_costs: list[float],
+        planned_candidates: list[int],
+    ) -> dict[int, float]:
+        """Per-targeted-shard estimated cost for one planned query.
+
+        ``planned_candidates[s]`` is the caller's candidate-count estimate
+        for shard ``s`` (observed mean tests per query, or the partition
+        size before any observation); a shard expected to answer from its
+        cache (exact resident key) costs ~nothing.
+        """
+        costs: dict[int, float] = {}
+        for shard in plan.targets:
+            if shard in plan.exact_shards:
+                costs[shard] = 0.0
+                continue
+            costs[shard] = self.estimate_cost(
+                planned_candidates[shard], per_test_costs[shard]
+            )
+        return costs

@@ -28,6 +28,7 @@ batcher and the workload runner accept it transparently.
 from __future__ import annotations
 
 import json
+import threading
 import time
 from collections.abc import Callable, Iterable
 from concurrent.futures import ThreadPoolExecutor
@@ -36,13 +37,16 @@ from pathlib import Path
 from repro.cache.graph_cache import GraphCache
 from repro.cache.statistics import AggregateStatistics, QueryRecord, StatisticsManager
 from repro.errors import ConfigurationError
+from repro.features.paths import EdgeFeatureExtractor
 from repro.graph.graph import Graph
 from repro.methods.base import MethodM
 from repro.query_model import Query, QueryType
-from repro.runtime.config import GCConfig
+from repro.runtime.config import DEFAULT_TEST_COST_SECONDS, GCConfig
 from repro.runtime.report import QueryReport
 from repro.runtime.system import GraphCacheSystem
+from repro.sharding.planner import PLAN_STAGE, ScatterPlan, ScatterPlanner
 from repro.sharding.router import ShardRouter
+from repro.sharding.summary import ShardSummary
 
 #: Stage name under which scatter-gather merge time is accounted.
 MERGE_STAGE = "merge"
@@ -97,6 +101,29 @@ class ShardedGraphCacheSystem:
         self.statistics = StatisticsManager()
         for index, shard in enumerate(self.shards):
             self.statistics.attach_shard(f"shard{index}", shard.statistics)
+        #: Per-shard partition summaries + the scatter planner that consults
+        #: them.  The summary feature family (vertex labels + single edges)
+        #: is deliberately independent of Method M's own index, so every
+        #: screen is sound for any method, including index-free direct SI.
+        self._summary_extractor = EdgeFeatureExtractor()
+        self.summaries = [
+            ShardSummary.build(index, partition, self._summary_extractor)
+            for index, partition in enumerate(self.router.partitions())
+        ]
+        self.planner = ScatterPlanner(
+            self.summaries,
+            mode=self.config.scatter_mode,
+            extractor=self._summary_extractor,
+        )
+        #: Resident-cache-key freshness per shard.  Cache content listeners
+        #: only flip a dirty bit (cheap enough for the synchronous admission
+        #: path); the real refresh runs on the cache maintenance worker when
+        #: one exists, else lazily at the next plan.
+        self._resident_dirty = [True] * self.num_shards
+        self._resident_lock = threading.Lock()
+        for index, shard in enumerate(self.shards):
+            if shard.cache is not None:
+                shard.cache.add_content_listener(self._cache_listener(index))
         #: Scatter pool: one slot per shard, so every shard of a query (or of
         #: a batch) executes concurrently with its siblings.
         self._pool = ThreadPoolExecutor(
@@ -139,6 +166,128 @@ class ShardedGraphCacheSystem:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+    # ------------------------------------------------------------------ #
+    # scatter planning (shard summaries)
+    # ------------------------------------------------------------------ #
+    def _cache_listener(self, shard_index: int):
+        def listener() -> None:
+            with self._resident_lock:
+                self._resident_dirty[shard_index] = True
+            cache = self.shards[shard_index].cache
+            worker = cache.maintenance if cache is not None else None
+            if worker is not None:
+                # refresh off the query critical path, on the cache
+                # maintenance thread (it is the thread running this listener
+                # under async maintenance, so ordering is preserved)
+                worker.submit_task(lambda: self._refresh_if_dirty(shard_index))
+        return listener
+
+    def _refresh_if_dirty(self, shard_index: int) -> None:
+        """Worker-side refresh: a no-op when an earlier task already ran."""
+        with self._resident_lock:
+            if not self._resident_dirty[shard_index]:
+                return
+        self._refresh_resident_keys(shard_index)
+
+    def _refresh_resident_keys(self, shard_index: int) -> None:
+        """Re-publish one shard cache's exact-match keys into its summary."""
+        cache = self.shards[shard_index].cache
+        if cache is None:
+            return
+        with self._resident_lock:
+            self._resident_dirty[shard_index] = False
+        self.summaries[shard_index].set_resident_keys(frozenset(
+            (entry.wl_hash, entry.graph.size_signature(), entry.query_type.value)
+            for entry in cache.entries()
+        ))
+
+    def _sync_summaries(self) -> None:
+        with self._resident_lock:
+            dirty = [index for index, flag in enumerate(self._resident_dirty) if flag]
+        for index in dirty:
+            cache = self.shards[index].cache
+            if cache is not None and cache.maintenance is not None:
+                # the maintenance worker owns this refresh — planning with
+                # slightly stale resident keys is safe (they only feed exact
+                # routing and cost hints, never pruning), so don't pull the
+                # O(cache) rebuild onto the query/admission hot path
+                continue
+            self._refresh_resident_keys(index)
+
+    def refresh_summaries(self) -> None:
+        """Rebuild every shard summary from scratch (partition + cache)."""
+        partitions = self.router.partitions()
+        for index, summary in enumerate(self.summaries):
+            summary.refresh(partitions[index], self._summary_extractor)
+            self._refresh_resident_keys(index)
+
+    def plan_query(
+        self,
+        query: Query | Graph,
+        query_type: QueryType | str = QueryType.SUBGRAPH,
+        record: bool = True,
+    ) -> ScatterPlan:
+        """The scatter plan for one query under the configured mode.
+
+        With ``record=False`` the planner's statistics stay untouched —
+        the admission path probes costs this way before the query is run.
+        A plan stashed by :meth:`estimate_shard_costs` is reused (and, on
+        the execution pass, consumed) so a cost-admitted query is not
+        feature-extracted and seal-checked twice on the serving hot path.
+        """
+        if not isinstance(query, Query):
+            query = Query(graph=query, query_type=QueryType.parse(query_type))
+        cached = query.metadata.get("scatter_plan")
+        if isinstance(cached, ScatterPlan):
+            if record:
+                query.metadata.pop("scatter_plan", None)
+                self.planner.stats.observe(cached)
+            return cached
+        if self.planner.mode != "full":
+            self._sync_summaries()
+        return self.planner.plan(query, record=record)
+
+    def estimate_shard_costs(
+        self, query: Query | Graph, query_type: QueryType | str = QueryType.SUBGRAPH
+    ) -> dict[int, float]:
+        """Estimated per-shard verification seconds for one query.
+
+        Planned candidate count (a shard's observed mean dataset tests per
+        query, or its partition size before any observation) times the
+        shard's observed per-test cost; shards the planner prunes cost
+        nothing, shards expected to answer from cache cost ~nothing.  This
+        is what cost-based shard-aware admission charges against per-shard
+        budgets.
+        """
+        if not isinstance(query, Query):
+            query = Query(graph=query, query_type=QueryType.parse(query_type))
+        plan = self.plan_query(query, record=False)
+        # stash for the execution pass: the same Query object flows from
+        # admission into the batch, so planning happens once per query
+        query.metadata["scatter_plan"] = plan
+        per_test_costs = [
+            shard.statistics.observed_test_cost(default=DEFAULT_TEST_COST_SECONDS)
+            for shard in self.shards
+        ]
+        planned_candidates = [
+            int(round(shard.statistics.mean_dataset_tests(default=len(shard.dataset))))
+            for shard in self.shards
+        ]
+        return self.planner.shard_costs(plan, per_test_costs, planned_candidates)
+
+    def scatter_metrics(self) -> dict:
+        """Skip rates, fan-out and per-shard cost signals (for ``/metrics``)."""
+        return {
+            "mode": self.planner.mode,
+            "num_shards": self.num_shards,
+            "stats": self.planner.stats.to_dict(),
+            "summaries": [summary.to_dict() for summary in self.summaries],
+            "per_shard_test_cost_seconds": [
+                shard.statistics.observed_test_cost(default=DEFAULT_TEST_COST_SECONDS)
+                for shard in self.shards
+            ],
+        }
 
     # ------------------------------------------------------------------ #
     # query execution (scatter-gather)
@@ -188,16 +337,38 @@ class ShardedGraphCacheSystem:
         ]
         if not query_list:
             return []
-        futures = [
-            self._pool.submit(
-                shard.run_queries_concurrent, query_list, query_type, workers
+        plans = [self.plan_query(query) for query in query_list]
+        for query, plan in zip(query_list, plans):
+            query.metadata["scatter"] = plan.to_dict()
+        # group the batch per shard: each shard only ever sees the queries
+        # planned onto it (under full scatter that is the whole batch)
+        shard_positions: list[list[int]] = [[] for _ in range(self.num_shards)]
+        for position, plan in enumerate(plans):
+            for shard in plan.targets:
+                shard_positions[shard].append(position)
+        futures = {
+            shard: self._pool.submit(
+                self.shards[shard].run_queries_concurrent,
+                [query_list[position] for position in positions],
+                query_type,
+                workers,
             )
-            for shard in self.shards
+            for shard, positions in enumerate(shard_positions)
+            if positions
+        }
+        shard_reports = {shard: future.result() for shard, future in futures.items()}
+        offset_of = [
+            {position: offset for offset, position in enumerate(positions)}
+            for positions in shard_positions
         ]
-        per_shard = [future.result() for future in futures]
         return [
-            self._merge(query, [reports[position] for reports in per_shard])
-            for position, query in enumerate(query_list)
+            self._merge(
+                query,
+                [shard_reports[shard][offset_of[shard][position]]
+                 for shard in plan.targets],
+                plan=plan,
+            )
+            for position, (query, plan) in enumerate(zip(query_list, plans))
         ]
 
     def warm_cache(
@@ -222,22 +393,35 @@ class ShardedGraphCacheSystem:
                 shard.statistics.reset()
 
     def _scatter_one(self, query: Query, query_type: QueryType | str) -> QueryReport:
+        plan = self.plan_query(query)
+        query.metadata["scatter"] = plan.to_dict()
         futures = [
-            self._pool.submit(shard.run_query, query, query_type)
-            for shard in self.shards
+            self._pool.submit(self.shards[shard].run_query, query, query_type)
+            for shard in plan.targets
         ]
-        return self._merge(query, [future.result() for future in futures])
+        return self._merge(query, [future.result() for future in futures], plan=plan)
 
     # ------------------------------------------------------------------ #
     # gather / merge
     # ------------------------------------------------------------------ #
-    def _merge(self, query: Query, shard_reports: list[QueryReport]) -> QueryReport:
-        """Merge per-shard reports into one deterministic report + record."""
+    def _merge(
+        self,
+        query: Query,
+        shard_reports: list[QueryReport],
+        plan: ScatterPlan | None = None,
+    ) -> QueryReport:
+        """Merge per-shard reports into one deterministic report + record.
+
+        An empty ``shard_reports`` is legal: the planner proved *no* shard
+        can contribute, so the merged answer is empty without any scatter.
+        """
         started = time.perf_counter()
         merged = QueryReport(query=query)
         stage_seconds: dict[str, float] = {}
         baseline_seconds = 0.0
-        have_baseline = True
+        # a fully-pruned query has no shard reports and hence no measured
+        # baseline — it must record None, not a zero measurement
+        have_baseline = bool(shard_reports)
         slowest = 0.0
         for report in shard_reports:  # shard order: deterministic
             if merged.exact_hit_entry is None:
@@ -266,11 +450,18 @@ class ShardedGraphCacheSystem:
                 stage_seconds[stage] = stage_seconds.get(stage, 0.0) + seconds
         merged.baseline_seconds = baseline_seconds if have_baseline else None
         merge_seconds = time.perf_counter() - started
+        plan_seconds = 0.0
+        if plan is not None and self.planner.mode != "full":
+            # planning is real per-query work in short-circuit mode: book it
+            # as its own stage next to the merge, so skip decisions show up
+            # in stage_breakdown() and /metrics like any other stage
+            plan_seconds = plan.plan_seconds
+            stage_seconds[PLAN_STAGE] = plan_seconds
         stage_seconds[MERGE_STAGE] = merge_seconds
         merged.stage_seconds = stage_seconds
         #: Critical path: shards ran concurrently, so the merged wall time is
-        #: the slowest shard plus the gather/merge itself.
-        merged.total_seconds = slowest + merge_seconds
+        #: the plan, the slowest scattered shard, and the gather/merge.
+        merged.total_seconds = plan_seconds + slowest + merge_seconds
         self.statistics.record(self._record_from(merged))
         return merged
 
@@ -393,7 +584,8 @@ class ShardedGraphCacheSystem:
         return self.cache_memory_bytes() / index_bytes
 
     def describe_shards(self) -> list[dict[str, object]]:
-        """One summary row per shard (dataset slice, cache, memory)."""
+        """One summary row per shard (dataset slice, cache, memory, scatter)."""
+        stats = self.planner.stats.to_dict()
         rows: list[dict[str, object]] = []
         for index, shard in enumerate(self.shards):
             row: dict[str, object] = {
@@ -401,6 +593,8 @@ class ShardedGraphCacheSystem:
                 "dataset_size": len(shard.dataset),
                 "cache_memory_bytes": shard.cache_memory_bytes(),
                 "index_memory_bytes": shard.index_memory_bytes(),
+                "scattered": stats["per_shard_scattered"][index],
+                "skipped": stats["per_shard_skipped"][index],
             }
             if shard.cache is not None:
                 row["cache"] = shard.cache.describe()
@@ -414,6 +608,7 @@ class ShardedGraphCacheSystem:
             "method": self.method.describe(),
             "dataset_size": len(self.dataset),
             "router": self.router.describe(),
+            "scatter": self.scatter_metrics(),
             "shards": self.describe_shards(),
         }
 

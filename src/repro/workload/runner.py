@@ -38,6 +38,9 @@ class WorkloadRunResult:
     max_workers: int = 1
     #: Per-pipeline-stage latency rows (stage, total/mean seconds, share).
     stage_breakdown: list[dict[str, float]] = field(default_factory=list)
+    #: Scatter planning metrics of a sharded system (mean fan-out, skip
+    #: rates, summary health); ``None`` for a single-system run.
+    scatter: dict | None = None
 
     @property
     def test_speedup(self) -> float:
@@ -51,7 +54,7 @@ class WorkloadRunResult:
 
     def summary(self) -> dict[str, object]:
         """One-row summary used by comparison tables."""
-        return {
+        row: dict[str, object] = {
             "workload": self.workload_name,
             "policy": self.policy,
             "method": self.method,
@@ -64,6 +67,10 @@ class WorkloadRunResult:
             "probe_tests": self.aggregate.total_probe_tests,
             "max_workers": self.max_workers,
         }
+        if self.scatter is not None:
+            row["scatter_mode"] = self.scatter["mode"]
+            row["mean_fanout"] = self.scatter["stats"]["mean_fanout"]
+        return row
 
 
 def run_workload(
@@ -88,6 +95,7 @@ def run_workload(
         cache.drain_maintenance()
         for report in cache.eviction_reports():
             evicted.extend(report.evicted)
+    scatter_metrics = getattr(system, "scatter_metrics", None)
     return WorkloadRunResult(
         workload_name=workload.name,
         policy=system.config.replacement_policy if caches else "none",
@@ -100,6 +108,7 @@ def run_workload(
         index_memory_bytes=system.index_memory_bytes(),
         max_workers=workers,
         stage_breakdown=system.stage_breakdown(),
+        scatter=scatter_metrics() if scatter_metrics is not None else None,
     )
 
 

@@ -5,7 +5,9 @@ returns exactly the same answer sets** for the same workload —
 
 * ``direct``      — Method M alone, no cache (``cache_enabled=False``);
 * ``cached``      — the single-system engine with the cache on;
-* ``sharded(N)``  — the scatter-gather engine at N shards;
+* ``sharded(N)``  — the scatter-gather engine at N shards (full scatter);
+* ``sharded(N)+short-circuit`` — the same engine with summary-driven shard
+  pruning (``scatter_mode="short-circuit"``);
 * ``served``      — queries replayed through the HTTP server.
 
 The harness runs each arm on a *fresh* system over the same dataset and the
@@ -13,14 +15,20 @@ same seeded workload (queries are cloned per arm, so no arm can leak state
 into another), and returns the per-query answer sets plus the hit/test
 accounting.  On mismatch, :func:`diff_answers` produces a compact per-query
 diff (first few offending positions, missing/unexpected graph ids) instead
-of dumping two 200-element lists at the reader.
+of dumping two 200-element lists at the reader.  Short-circuit arms
+additionally record every query's scatter plan and the router assignment,
+so :func:`diff_short_circuit` can *blame the shard whose pruning was
+unsound*: partitions are disjoint, hence each missing answer id maps to
+exactly one owning shard, and if that shard was skipped the diff names the
+shard and the (wrong) skip reason.
 
 Hit/miss-count equivalence is asserted only where it is actually guaranteed:
 ``sharded(1)`` is the same engine as ``cached`` plus a trivial merge, and a
 *sequential* served run (one client thread, batch size 1) executes the exact
 same query stream in the exact same order.  At 2+ shards each shard's cache
-admits and evicts independently, so only the answer sets — not the hit
-trajectories — are invariant.
+admits and evicts independently — and under short-circuit scatter pruned
+shards never even see the query — so only the answer sets, not the hit
+trajectories, are invariant there.
 """
 
 from __future__ import annotations
@@ -47,6 +55,19 @@ class ArmResult:
     answers: list[frozenset] = field(default_factory=list)
     #: Aggregate statistics (hits, tests) the arm's StatisticsManager saw.
     aggregate: AggregateStatistics = field(default_factory=AggregateStatistics)
+    #: Per-query scatter plans (sharded arms only): targets/skipped/fanout.
+    plans: list[dict] | None = None
+    #: Graph id → owning shard (sharded arms only), for pruning blame.
+    shard_of: dict | None = None
+    #: Planner statistics snapshot (sharded arms only).
+    scatter_stats: dict | None = None
+
+    @property
+    def mean_fanout(self) -> float:
+        """Average shards scattered to per query (0.0 for unsharded arms)."""
+        if not self.scatter_stats:
+            return 0.0
+        return self.scatter_stats["mean_fanout"]
 
     def hit_counts(self) -> dict[str, int]:
         """The hit/test accounting that deterministic arms must agree on."""
@@ -109,14 +130,20 @@ def run_sharded(
     workload: Workload,
     num_shards: int,
     concurrent_workers: int | None = None,
+    scatter_mode: str = "full",
     **config_overrides,
 ) -> ArmResult:
     """The scatter-gather engine at ``num_shards`` shards.
 
     ``concurrent_workers`` switches to ``run_queries_concurrent`` with that
     many per-shard streams (None = the deterministic sequential path).
+    ``scatter_mode="short-circuit"`` enables summary-driven shard pruning;
+    the arm then also records every query's scatter plan, the router
+    assignment and the planner statistics, so a mismatch can be blamed on
+    the shard whose pruning was unsound (:func:`diff_short_circuit`).
     """
-    config = base_config(num_shards=num_shards, **config_overrides)
+    config = base_config(num_shards=num_shards, scatter_mode=scatter_mode,
+                         **config_overrides)
     with ShardedGraphCacheSystem(dataset, config) as system:
         queries = clone_queries(workload)
         if concurrent_workers is None:
@@ -125,9 +152,13 @@ def run_sharded(
             reports = system.run_queries_concurrent(queries, max_workers=concurrent_workers)
         return ArmResult(
             name=f"sharded({num_shards})"
-            + (f"+concurrent({concurrent_workers})" if concurrent_workers else ""),
+            + (f"+concurrent({concurrent_workers})" if concurrent_workers else "")
+            + (f"+{scatter_mode}" if scatter_mode != "full" else ""),
             answers=[frozenset(report.answer) for report in reports],
             aggregate=system.aggregate(),
+            plans=[query.metadata.get("scatter", {}) for query in queries],
+            shard_of=system.router.assignment(),
+            scatter_stats=system.planner.stats.to_dict(),
         )
 
 
@@ -204,10 +235,68 @@ def diff_answers(
     return "\n".join([header, *lines])
 
 
+def diff_short_circuit(
+    reference: ArmResult, short_circuit: ArmResult, limit: int = 5
+) -> str | None:
+    """Like :func:`diff_answers`, but *names the unsoundly-pruned shard*.
+
+    ``reference`` is any arm with the full answer sets (direct, cached or
+    full scatter); ``short_circuit`` must carry plans and the router
+    assignment.  Because partitions are disjoint, every answer id missing
+    from the short-circuit arm belongs to exactly one shard; if that shard
+    was skipped by the query's plan, the diff reports the shard and the
+    recorded (wrong) skip reason — the exact summary screen to debug.
+    """
+    base = diff_answers(reference, short_circuit, limit=limit)
+    if base is None:
+        return None
+    if short_circuit.plans is None or short_circuit.shard_of is None:
+        return base
+    blames: list[str] = []
+    mismatches = [
+        position
+        for position, (left, right) in enumerate(
+            zip(reference.answers, short_circuit.answers))
+        if left != right
+    ]
+    for position in mismatches[:limit]:
+        plan = short_circuit.plans[position] if position < len(short_circuit.plans) else {}
+        skipped = {int(shard): reason
+                   for shard, reason in plan.get("skipped", {}).items()}
+        lost_by_shard: dict[int, list] = {}
+        for graph_id in reference.answers[position] - short_circuit.answers[position]:
+            owner = short_circuit.shard_of.get(graph_id)
+            if owner is not None:
+                lost_by_shard.setdefault(owner, []).append(graph_id)
+        for owner in sorted(lost_by_shard):
+            ids = sorted(lost_by_shard[owner], key=graph_id_sort_key)
+            if owner in skipped:
+                blames.append(
+                    f"query #{position}: shard {owner} was pruned "
+                    f"(reason: {skipped[owner]!r}) but owns answers {ids} "
+                    "— UNSOUND PRUNING"
+                )
+            else:
+                blames.append(
+                    f"query #{position}: shard {owner} was scattered to but "
+                    f"dropped answers {ids} — merge/execution bug, not pruning"
+                )
+    if not blames:
+        return base
+    return "\n".join([base, "shard blame:", *blames])
+
+
 def assert_answers_equal(reference: ArmResult, *others: ArmResult) -> None:
-    """Assert byte-identical answer sets, failing with the compact diff."""
+    """Assert byte-identical answer sets, failing with the compact diff.
+
+    Arms that carry scatter plans fail with the shard-blaming variant of
+    the diff, so an unsound pruning screen is named directly.
+    """
     for other in others:
-        diff = diff_answers(reference, other)
+        if other.plans is not None:
+            diff = diff_short_circuit(reference, other)
+        else:
+            diff = diff_answers(reference, other)
         assert diff is None, diff
 
 
