@@ -6,9 +6,10 @@ The sharding tour of the library:
 1. route a dataset across 4 size-balanced shards and inspect the routing;
 2. prove equivalence in-process: the sharded engine's answers are identical
    to a single unsharded system's on the same trace;
-3. serve the sharded system over HTTP, replay the trace, and read the
-   per-shard ``/metrics`` section (merged + per-shard aggregates, merge
-   overhead booked as its own pipeline stage);
+3. serve the sharded system over HTTP through the GraphService SDK, replay
+   the trace, and read the per-shard sections of the typed metrics snapshot
+   (merged + per-shard aggregates, merge overhead booked as its own
+   pipeline stage);
 4. show the snapshot fan-out: one manifest plus one file per shard.
 
 Run with:  python examples/sharded_serving.py
@@ -20,18 +21,18 @@ import tempfile
 from pathlib import Path
 
 from repro import GCConfig, molecule_dataset
+from repro.api import LocalGraphService, QueryRequest, RemoteGraphService
 from repro.dashboard import format_table
-from repro.query_model import Query
-from repro.runtime import GraphCacheSystem
 from repro.server import QueryServer
-from repro.sharding import ShardedGraphCacheSystem, ShardRouter
-from repro.workload import QueryServerClient, generate_trace, replay_trace
+from repro.sharding import ShardRouter
+from repro.workload import generate_trace, replay_trace
 
 NUM_SHARDS = 4
 
 
-def clones(trace) -> list[Query]:
-    return [Query(graph=q.graph.copy(), query_type=q.query_type) for q in trace]
+def clones(trace) -> list[QueryRequest]:
+    return [QueryRequest(graph=q.graph.copy(), query_type=q.query_type)
+            for q in trace]
 
 
 def main() -> None:
@@ -42,14 +43,16 @@ def main() -> None:
     router = ShardRouter(dataset, NUM_SHARDS, "size-balanced")
     print(f"router: {router.describe()}")
 
-    # 2. in-process equivalence: sharded answers == unsharded answers
+    # 2. in-process equivalence through one API: the sharded service's
+    #    answers are identical to the unsharded service's on the same trace
     config = GCConfig(cache_capacity=30, window_size=5,
                       num_shards=NUM_SHARDS, shard_policy="size-balanced")
-    with GraphCacheSystem(dataset, GCConfig(cache_capacity=30, window_size=5)) as single:
-        reference = [frozenset(r.answer) for r in single.run_queries(clones(trace))]
-    with ShardedGraphCacheSystem(dataset, config) as sharded:
-        answers = [frozenset(r.answer) for r in sharded.run_queries(clones(trace))]
-        merge_rows = [row for row in sharded.stage_breakdown() if row["stage"] == "merge"]
+    with LocalGraphService(dataset, GCConfig(cache_capacity=30, window_size=5)) as single:
+        reference = [r.answer for r in single.run_batch(clones(trace)).raise_first()]
+    with LocalGraphService(dataset, config) as sharded:
+        answers = [r.answer for r in sharded.run_batch(clones(trace)).raise_first()]
+        merge_rows = [row for row in sharded.system.stage_breakdown()
+                      if row["stage"] == "merge"]
     assert answers == reference, "scatter-gather must not change any answer"
     print(f"equivalence      : {len(answers)} queries, sharded == unsharded ✓")
     if merge_rows:
@@ -61,7 +64,7 @@ def main() -> None:
     with QueryServer(dataset, config, max_batch_size=4,
                      snapshot_path=snapshot) as server:
         print(f"\nserving at {server.address} ({NUM_SHARDS} shards)\n")
-        client = QueryServerClient.for_server(server)
+        client = RemoteGraphService.for_server(server)
         result = replay_trace(client, trace, num_threads=4)
         print(format_table([result.summary()]))
 
@@ -71,10 +74,10 @@ def main() -> None:
                 "shard": row["shard"],
                 "graphs": row["dataset_size"],
                 "cached": row["cache"]["population"],
-                "queries": metrics["statistics"]["shards"][f"shard{row['shard']}"]
+                "queries": metrics.statistics["shards"][f"shard{row['shard']}"]
                 ["num_queries"],
             }
-            for row in metrics["shards"]
+            for row in metrics.shards
         ]
         print("\nper-shard view:")
         print(format_table(per_shard))

@@ -37,6 +37,14 @@ from repro.graph import (
 )
 from repro.query_model import Query, QueryType
 from repro.runtime import GCConfig, GraphCacheSystem, QueryReport
+from repro.api import (
+    ErrorEnvelope,
+    LocalGraphService,
+    MetricsSnapshot,
+    QueryRequest,
+    QueryResponse,
+    RemoteGraphService,
+)
 from repro.server import QueryServer
 from repro.workload import (
     QueryServerClient,
@@ -81,6 +89,13 @@ __all__ = [
     "run_workload",
     "compare_policies",
     "compare_methods",
+    # the service API (see repro.api for the full SDK surface)
+    "QueryRequest",
+    "QueryResponse",
+    "ErrorEnvelope",
+    "MetricsSnapshot",
+    "LocalGraphService",
+    "RemoteGraphService",
     # serving
     "QueryServer",
     "QueryServerClient",

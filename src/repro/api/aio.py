@@ -1,0 +1,452 @@
+"""AsyncRemoteGraphService: the asyncio backend + open-loop load generator.
+
+The ROADMAP's "async client" item: the thread-per-connection sync replay
+tops out around hundreds of connections (one OS thread each); this backend
+holds *thousands* of concurrent keep-alive connections in one process on a
+single event loop.  Stdlib only — the HTTP/1.1 client is hand-rolled over
+``asyncio.open_connection`` (the server always frames responses with
+``Content-Length``, so parsing is a status line + headers + exact read).
+
+Connections live in a bounded pool: a request checks one out (opening lazily
+up to ``max_connections``), sends, reads, and parks it back idle.  ``warm``
+pre-opens a given number of connections so a load test measurably *holds*
+them; ``pool_stats`` reports open/peak-open/in-flight/peak-in-flight
+counters the benchmarks assert on.
+
+:func:`replay_trace_async` mirrors :func:`repro.workload.replay.replay_trace`
+(same :class:`ReplayResult`, same open-loop release schedule) but issues
+every query as an asyncio task multiplexed over the pool — thousands of
+in-flight queries cost coroutines, not threads.  :func:`replay_trace_async_blocking`
+wraps it in ``asyncio.run`` for sync callers (the CLI's ``loadgen --async-client``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+
+from repro.api.envelopes import (
+    BatchResult,
+    ErrorEnvelope,
+    MetricsSnapshot,
+    QueryResponse,
+    as_request,
+    parse_response,
+    wire_error_message,
+    wire_result,
+)
+from repro.api.remote import (
+    negotiated_version_from,
+    recording_start_body,
+    trace_from_stop_payload,
+    validate_pinned_version,
+)
+from repro.errors import ProtocolError, ServerError, WorkloadError
+from repro.query_model import QueryType
+from repro.workload.replay import ReplayEvent, ReplayResult
+from repro.workload.workload import Workload
+
+
+class _Connection:
+    """One keep-alive HTTP/1.1 connection (reader/writer pair)."""
+
+    __slots__ = ("reader", "writer")
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        self.reader = reader
+        self.writer = writer
+
+    async def request(self, method: str, path: str, host_header: str,
+                      body: bytes | None = None) -> tuple[int, dict, bool]:
+        """One request/response exchange; returns (status, payload, reusable)."""
+        head = [f"{method} {path} HTTP/1.1", f"Host: {host_header}"]
+        if body is not None:
+            head.append("Content-Type: application/json")
+            head.append(f"Content-Length: {len(body)}")
+        else:
+            head.append("Content-Length: 0")
+        raw = ("\r\n".join(head) + "\r\n\r\n").encode("ascii") + (body or b"")
+        self.writer.write(raw)
+        await self.writer.drain()
+
+        status_line = await self.reader.readline()
+        if not status_line:
+            raise ConnectionError("server closed the connection")
+        parts = status_line.split(None, 2)
+        if len(parts) < 2 or not parts[0].startswith(b"HTTP/"):
+            raise ProtocolError(f"malformed HTTP status line: {status_line!r}")
+        status = int(parts[1])
+        headers: dict[str, str] = {}
+        while True:
+            line = await self.reader.readline()
+            if line in (b"\r\n", b"\n"):
+                break
+            if not line:
+                raise ConnectionError("connection closed mid-headers")
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0"))
+        data = await self.reader.readexactly(length) if length else b""
+        payload = json.loads(data) if data else {}
+        reusable = headers.get("connection", "keep-alive").lower() != "close"
+        return status, payload, reusable
+
+    def close(self) -> None:
+        try:
+            self.writer.close()
+        except Exception:  # pragma: no cover - best-effort socket teardown
+            pass
+
+
+class AsyncRemoteGraphService:
+    """Async HTTP :class:`GraphService` backend with a connection pool."""
+
+    backend = "remote-async"
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 60.0,
+        max_connections: int = 1024,
+        protocol_version: int | None = None,
+    ) -> None:
+        if max_connections < 1:
+            raise ServerError("max_connections must be at least 1")
+        validate_pinned_version(protocol_version)
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.max_connections = max_connections
+        self._version = protocol_version
+        self._version_lock: asyncio.Lock | None = None  # bound to the running loop
+        self._idle: list[_Connection] = []
+        self._capacity: asyncio.Semaphore | None = None  # bound to the running loop
+        self._closed = False
+        # pool observability (asserted on by the S4 benchmark)
+        self.open_connections = 0
+        self.peak_open_connections = 0
+        self.in_flight = 0
+        self.peak_in_flight = 0
+        self.requests_sent = 0
+        self.reconnects = 0
+
+    @classmethod
+    def for_server(cls, server, **kwargs) -> "AsyncRemoteGraphService":
+        """Client bound to an in-process :class:`QueryServer`."""
+        return cls(server.host, server.port, **kwargs)
+
+    # ------------------------------------------------------------------ #
+    # connection pool
+    # ------------------------------------------------------------------ #
+    def _semaphore(self) -> asyncio.Semaphore:
+        if self._capacity is None:
+            self._capacity = asyncio.Semaphore(self.max_connections)
+        return self._capacity
+
+    async def _open(self) -> _Connection:
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(self.host, self.port), timeout=self.timeout
+        )
+        self.open_connections += 1
+        self.peak_open_connections = max(self.peak_open_connections, self.open_connections)
+        return _Connection(reader, writer)
+
+    async def _acquire(self) -> _Connection:
+        if self._closed:
+            raise ServerError("async client is closed")
+        await self._semaphore().acquire()
+        if self._idle:
+            return self._idle.pop()
+        try:
+            return await self._open()
+        except BaseException:
+            self._semaphore().release()
+            raise
+
+    def _release(self, connection: _Connection, reusable: bool) -> None:
+        if reusable and not self._closed:
+            self._idle.append(connection)
+        else:
+            connection.close()
+            self.open_connections -= 1
+        self._semaphore().release()
+
+    def _discard(self, connection: _Connection) -> None:
+        """Drop a broken connection; the capacity slot is NOT touched here —
+        every caller releases (or re-acquires) the semaphore itself."""
+        connection.close()
+        self.open_connections -= 1
+
+    async def warm(self, count: int, concurrency: int = 64) -> int:
+        """Pre-open ``count`` keep-alive connections and park them idle.
+
+        Opens in bounded waves so a large warm-up doesn't overflow the
+        server's listen backlog.  Returns the number of connections open
+        afterwards; this is how a load test *holds* N connections while the
+        open-loop schedule multiplexes queries over them.
+        """
+        count = min(count, self.max_connections)
+        gate = asyncio.Semaphore(concurrency)
+
+        async def open_one() -> None:
+            async with gate:
+                self._idle.append(await self._open())
+
+        need = count - self.open_connections
+        if need > 0:
+            await asyncio.gather(*(open_one() for _ in range(need)))
+        return self.open_connections
+
+    def pool_stats(self) -> dict:
+        """Pool counters (open/peak/in-flight) for benchmarks and reports."""
+        return {
+            "open_connections": self.open_connections,
+            "peak_open_connections": self.peak_open_connections,
+            "idle_connections": len(self._idle),
+            "in_flight": self.in_flight,
+            "peak_in_flight": self.peak_in_flight,
+            "requests_sent": self.requests_sent,
+            "reconnects": self.reconnects,
+            "max_connections": self.max_connections,
+        }
+
+    async def aclose(self) -> None:
+        """Close every idle connection and refuse further requests."""
+        self._closed = True
+        while self._idle:
+            connection = self._idle.pop()
+            connection.close()
+            self.open_connections -= 1
+
+    async def __aenter__(self) -> "AsyncRemoteGraphService":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.aclose()
+
+    # ------------------------------------------------------------------ #
+    # transport
+    # ------------------------------------------------------------------ #
+    async def _request(self, method: str, path: str,
+                       body: dict | None = None) -> tuple[int, dict]:
+        payload = json.dumps(body).encode("utf-8") if body is not None else None
+        host_header = f"{self.host}:{self.port}"
+        for attempt in (0, 1):
+            connection = await self._acquire()
+            # counted only while a connection is held: waiters queued on the
+            # pool semaphore are not "in flight" (peak stays <= pool size)
+            self.in_flight += 1
+            self.peak_in_flight = max(self.peak_in_flight, self.in_flight)
+            try:
+                status, response, reusable = await asyncio.wait_for(
+                    connection.request(method, path, host_header, payload),
+                    timeout=self.timeout,
+                )
+            except asyncio.TimeoutError:
+                # the server may still be executing the request: retrying
+                # would run the query twice, so timeouts always propagate
+                self._discard(connection)
+                self._semaphore().release()
+                raise TimeoutError(f"{method} {path} timed out") from None
+            except (ConnectionError, asyncio.IncompleteReadError, OSError):
+                # stale keep-alive connection (server closed it between
+                # requests, before processing anything): retry once
+                self._discard(connection)
+                self._semaphore().release()
+                self.reconnects += 1
+                if attempt:
+                    raise
+            except BaseException:
+                # anything else (malformed response, cancellation): the
+                # connection state is unknown — drop it, free the slot
+                self._discard(connection)
+                self._semaphore().release()
+                raise
+            else:
+                self.requests_sent += 1
+                self._release(connection, reusable)
+                return status, response
+            finally:
+                self.in_flight -= 1
+        raise ServerError("unreachable")  # pragma: no cover
+
+    # ------------------------------------------------------------------ #
+    # protocol negotiation
+    # ------------------------------------------------------------------ #
+    async def negotiate(self) -> int:
+        """Pick the highest protocol version both sides speak (404 = v1)."""
+        status, payload = await self._request("GET", "/protocol")
+        return negotiated_version_from(status, payload)
+
+    async def _protocol_version(self) -> int:
+        if self._version is None:
+            # serialise negotiation: a fan-out of first requests must not
+            # each pay (and count) its own /protocol round trip
+            if self._version_lock is None:
+                self._version_lock = asyncio.Lock()
+            async with self._version_lock:
+                if self._version is None:
+                    self._version = await self.negotiate()
+        return self._version
+
+    # ------------------------------------------------------------------ #
+    # GraphService surface (await-shaped)
+    # ------------------------------------------------------------------ #
+    async def send(self, query,
+                   query_type: QueryType | str = QueryType.SUBGRAPH) -> tuple[int, dict]:
+        """POST one query; returns the raw ``(http_status, payload)``."""
+        request = as_request(query, query_type)
+        version = await self._protocol_version()
+        return await self._request("POST", "/query", request.to_wire(version))
+
+    async def run(self, query,
+                  query_type: QueryType | str = QueryType.SUBGRAPH) -> QueryResponse:
+        """Execute one query, raising the typed error on any failure."""
+        status, payload = await self.send(query, query_type)
+        outcome = parse_response(payload, http_status=status)
+        if isinstance(outcome, ErrorEnvelope):
+            raise outcome.to_exception()
+        return outcome
+
+    async def run_batch(self, queries, concurrency: int | None = None) -> BatchResult:
+        """Execute queries concurrently over the pool; per-item outcomes."""
+        requests = [as_request(query) for query in queries]
+        limit = self.max_connections if concurrency is None else concurrency
+        if limit < 1:
+            raise ServerError("concurrency must be at least 1")
+        gate = asyncio.Semaphore(limit)
+
+        async def execute(request):
+            async with gate:
+                try:
+                    return await self.run(request)
+                except Exception as exc:
+                    return ErrorEnvelope.from_exception(
+                        exc, request_id=request.request_id)
+
+        items = await asyncio.gather(*(execute(request) for request in requests))
+        return BatchResult(items=list(items))
+
+    async def metrics(self) -> MetricsSnapshot:
+        return MetricsSnapshot.from_wire(await self._ok("GET", "/metrics"))
+
+    async def stats(self) -> dict:
+        return await self._ok("GET", "/stats")
+
+    async def health(self) -> dict:
+        return await self._ok("GET", "/health")
+
+    async def _ok(self, method: str, path: str, body: dict | None = None) -> dict:
+        status, payload = await self._request(method, path, body)
+        if status != 200:
+            raise ServerError(f"{path} replied {status}: {payload}")
+        return payload
+
+    # ------------------------------------------------------------------ #
+    # server-side trace recording
+    # ------------------------------------------------------------------ #
+    async def start_recording(self, name: str | None = None,
+                              path: str | None = None) -> dict:
+        return await self._ok("POST", "/record/start",
+                              recording_start_body(name, path))
+
+    async def stop_recording(self) -> Workload:
+        return trace_from_stop_payload(await self._ok("POST", "/record/stop", {}))
+
+
+# ---------------------------------------------------------------------- #
+# open-loop async trace replay
+# ---------------------------------------------------------------------- #
+async def replay_trace_async(
+    service: AsyncRemoteGraphService,
+    trace: Workload,
+    target_qps: float | None = None,
+    concurrency: int | None = None,
+    warm_connections: int | None = None,
+) -> ReplayResult:
+    """Replay ``trace`` through the async client, one task per query.
+
+    Mirrors :func:`repro.workload.replay.replay_trace` exactly — same
+    open-loop release schedule (query *i* is released at ``i / target_qps``
+    seconds), same :class:`ReplayResult` — but concurrency costs coroutines,
+    not threads, so one process holds thousands of connections.
+
+    ``concurrency`` bounds in-flight queries (default: the pool size);
+    ``warm_connections`` pre-opens that many keep-alive connections before
+    the clock starts, so the run *holds* them for its whole duration.
+    """
+    if target_qps is not None and target_qps <= 0:
+        raise WorkloadError("target_qps must be positive (or None for closed-loop)")
+    queries = list(trace)
+    limit = service.max_connections if concurrency is None else concurrency
+    if limit < 1:
+        raise WorkloadError("concurrency must be at least 1")
+    if warm_connections:
+        await service.warm(warm_connections)
+    events: list[ReplayEvent | None] = [None] * len(queries)
+    gate = asyncio.Semaphore(limit)
+    start = time.perf_counter()
+
+    async def one(index: int) -> None:
+        if target_qps is not None:
+            delay = (start + index / target_qps) - time.perf_counter()
+            if delay > 0:
+                await asyncio.sleep(delay)
+        async with gate:
+            sent = time.perf_counter()
+            try:
+                status, payload = await service.send(queries[index])
+            except Exception as exc:  # transport failure, not a server verdict
+                events[index] = ReplayEvent(
+                    index=index, status=-1,
+                    latency_seconds=time.perf_counter() - sent,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+                return
+            latency = time.perf_counter() - sent
+            body = wire_result(payload) if status == 200 else {}
+            server_meta = body.get("server", {})
+            events[index] = ReplayEvent(
+                index=index,
+                status=status,
+                latency_seconds=latency,
+                answer=frozenset(body["answer"]) if status == 200 else None,
+                batch_size=server_meta.get("batch_size"),
+                queue_seconds=server_meta.get("queue_seconds"),
+                error=None if status == 200 else wire_error_message(payload),
+            )
+
+    await asyncio.gather(*(one(index) for index in range(len(queries))))
+    return ReplayResult(
+        trace_name=trace.name,
+        events=[event for event in events if event is not None],
+        elapsed_seconds=time.perf_counter() - start,
+        target_qps=target_qps,
+        num_threads=1,
+        num_connections=service.peak_open_connections,
+    )
+
+
+def replay_trace_async_blocking(
+    host: str,
+    port: int,
+    trace: Workload,
+    target_qps: float | None = None,
+    max_connections: int = 1024,
+    warm_connections: int | None = None,
+    timeout: float = 60.0,
+) -> ReplayResult:
+    """Sync entry point for the async replay (builds its own event loop)."""
+
+    async def main() -> ReplayResult:
+        async with AsyncRemoteGraphService(
+            host, port, timeout=timeout, max_connections=max_connections
+        ) as service:
+            return await replay_trace_async(
+                service, trace, target_qps=target_qps,
+                warm_connections=warm_connections,
+            )
+
+    return asyncio.run(main())

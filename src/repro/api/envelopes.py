@@ -1,0 +1,542 @@
+"""Typed request/response envelopes and the versioned wire protocol.
+
+This module is the single definition of what travels between a client and a
+:class:`~repro.server.app.QueryServer` — every transport (sync HTTP, async
+HTTP, in-process) and every tool (CLI, trace replay, differential harness)
+speaks these types rather than ad-hoc JSON shapes.
+
+Two wire versions exist:
+
+* **v1** (legacy, still accepted) — the flat shapes the server spoke before
+  the service API existed: a request is ``{"graph": ..., "query_type": ...,
+  "metadata": ...}``, a success response is the flat report payload, an
+  error is ``{"error": "<message>", ...}``.  v1 payloads carry no
+  ``version`` key; :func:`parse_request` auto-upgrades them so recorded
+  traces and old clients keep working unchanged.
+* **v2** (current) — explicit envelopes: requests are ``{"version": 2,
+  "query": {...}, "request_id": ...}``, success responses nest the result
+  under ``"result"``, and errors carry the full taxonomy row
+  (``code``/``http_status``/``retryable``/``details``) under ``"error"``
+  instead of a bare message string, so clients never parse error text.
+
+Version negotiation: servers expose ``GET /protocol`` listing their
+``versions``; :func:`negotiate_version` picks the highest version both sides
+support.  A server without the endpoint (pre-v2) is treated as v1-only.
+
+Everything is JSON-safe (infinities map to ``None`` via
+:func:`repro.cache.statistics.json_safe`); every envelope round-trips
+``to_wire`` → ``from_wire`` losslessly, property-tested in
+``tests/test_api_envelopes.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Union
+
+from repro.cache.statistics import json_safe
+from repro.api.taxonomy import (
+    TIMEOUT_CODE,
+    UNKNOWN_CODE,
+    details_for,
+    reconstruct,
+    rule_for,
+    rule_for_code,
+)
+from repro.errors import GraphCacheError, ProtocolError
+from repro.graph.graph import Graph
+from repro.query_model import Query, QueryType
+
+#: The protocol version this library speaks natively.
+PROTOCOL_VERSION = 2
+
+#: Every wire version the server accepts (v1 payloads are auto-upgraded).
+SUPPORTED_VERSIONS = (1, 2)
+
+
+def negotiate_version(
+    server_versions: Iterable[int],
+    client_versions: Iterable[int] = SUPPORTED_VERSIONS,
+) -> int:
+    """The highest protocol version both sides support.
+
+    Raises :class:`ProtocolError` when the intersection is empty — a client
+    must not silently downgrade below anything it can speak.
+    """
+    common = set(server_versions) & set(client_versions)
+    if not common:
+        raise ProtocolError(
+            f"no common protocol version: server speaks {sorted(server_versions)}, "
+            f"client speaks {sorted(client_versions)}"
+        )
+    return max(common)
+
+
+def detect_version(payload: object) -> int:
+    """The wire version of a request/response payload (absent key = v1)."""
+    if not isinstance(payload, dict):
+        raise ProtocolError(f"payload must be a JSON object, got {type(payload).__name__}")
+    version = payload.get("version", 1)
+    if not isinstance(version, int) or isinstance(version, bool) or version not in SUPPORTED_VERSIONS:
+        raise ProtocolError(
+            f"unsupported protocol version {version!r}; "
+            f"supported: {', '.join(str(v) for v in SUPPORTED_VERSIONS)}"
+        )
+    return version
+
+
+# ---------------------------------------------------------------------- #
+# requests
+# ---------------------------------------------------------------------- #
+@dataclass
+class QueryRequest:
+    """One graph query as a transport-agnostic envelope."""
+
+    graph: Graph
+    query_type: QueryType = QueryType.SUBGRAPH
+    metadata: dict = field(default_factory=dict)
+    #: Optional caller-chosen correlation id, echoed on the v2 response.
+    request_id: str | int | None = None
+
+    def __post_init__(self) -> None:
+        self.query_type = QueryType.parse(self.query_type)
+
+    @classmethod
+    def from_query(cls, query: Query, request_id: str | int | None = None) -> "QueryRequest":
+        """Wrap an in-process :class:`Query` (the graph is shared, not copied)."""
+        return cls(graph=query.graph, query_type=query.query_type,
+                   metadata=dict(query.metadata), request_id=request_id)
+
+    def to_query(self) -> Query:
+        """A fresh executable :class:`Query` (new query id) for the engine."""
+        return Query(graph=self.graph, query_type=self.query_type,
+                     metadata=dict(self.metadata))
+
+    def to_wire(self, version: int = PROTOCOL_VERSION) -> dict:
+        """Serialise for the wire in the given protocol version."""
+        body = {
+            "graph": self.graph.to_dict(),
+            "query_type": self.query_type.value,
+            "metadata": dict(self.metadata),
+        }
+        if version == 1:
+            return body
+        payload: dict = {"version": 2, "query": body}
+        if self.request_id is not None:
+            payload["request_id"] = self.request_id
+        return payload
+
+    @classmethod
+    def from_wire(cls, payload: dict) -> "QueryRequest":
+        """Parse either wire version (see :func:`parse_request`)."""
+        return parse_request(payload)[0]
+
+
+def parse_request(payload: object) -> tuple[QueryRequest, int]:
+    """Parse a request payload, returning the envelope and its wire version.
+
+    v1 payloads (no ``version`` key, graph at top level) are auto-upgraded:
+    the caller gets the same :class:`QueryRequest` either way and uses the
+    returned version only to phrase the *response* the way the client asked.
+    """
+    version = detect_version(payload)
+    if version == 1:
+        body, request_id = payload, None
+    else:
+        body = payload.get("query")
+        if not isinstance(body, dict):
+            raise ProtocolError("v2 request has no 'query' object")
+        request_id = payload.get("request_id")
+        if request_id is not None and not isinstance(request_id, (str, int)):
+            raise ProtocolError("'request_id' must be a string or integer")
+    if "graph" not in body:
+        raise ProtocolError("request has no 'graph' field")
+    try:
+        graph = Graph.from_dict(body["graph"])
+    except Exception as exc:
+        raise ProtocolError(f"malformed 'graph' payload: {exc}") from exc
+    try:
+        query_type = QueryType.parse(body.get("query_type", "subgraph"))
+    except ValueError as exc:
+        raise ProtocolError(str(exc)) from exc
+    metadata = body.get("metadata", {})
+    if not isinstance(metadata, dict):
+        raise ProtocolError("'metadata' must be a JSON object")
+    request = QueryRequest(graph=graph, query_type=query_type,
+                           metadata=dict(metadata), request_id=request_id)
+    return request, version
+
+
+def as_request(query: "QueryRequest | Query | Graph",
+               query_type: QueryType | str = QueryType.SUBGRAPH) -> QueryRequest:
+    """Coerce any of the accepted query spellings into an envelope."""
+    if isinstance(query, QueryRequest):
+        return query
+    if isinstance(query, Query):
+        return QueryRequest.from_query(query)
+    if isinstance(query, Graph):
+        return QueryRequest(graph=query, query_type=QueryType.parse(query_type))
+    raise ProtocolError(
+        f"cannot build a QueryRequest from {type(query).__name__}; "
+        "expected QueryRequest, Query or Graph"
+    )
+
+
+# ---------------------------------------------------------------------- #
+# responses
+# ---------------------------------------------------------------------- #
+@dataclass
+class QueryResponse:
+    """One successful query answer plus its observability payload."""
+
+    answer: frozenset
+    query_id: int | None = None
+    query_type: QueryType = QueryType.SUBGRAPH
+    #: ``{"exact": bool, "sub": int, "super": int}`` — confirmed cache hits.
+    hits: dict = field(default_factory=dict)
+    #: ``{"dataset": int, "baseline": int, "probe": int}`` — sub-iso tests.
+    tests: dict = field(default_factory=dict)
+    stage_seconds: dict = field(default_factory=dict)
+    total_seconds: float | None = None
+    #: Serving metadata (absent when the query ran in-process).
+    queue_seconds: float | None = None
+    batch_size: int | None = None
+    request_id: str | int | None = None
+
+    @classmethod
+    def from_report(
+        cls,
+        report,
+        queue_seconds: float | None = None,
+        batch_size: int | None = None,
+        request_id: str | int | None = None,
+    ) -> "QueryResponse":
+        """Build from a :class:`~repro.runtime.report.QueryReport`."""
+        return cls(
+            answer=frozenset(report.answer),
+            query_id=report.query.query_id,
+            query_type=report.query.query_type,
+            hits={
+                "exact": report.exact_hit_entry is not None,
+                "sub": len(report.sub_hit_entries),
+                "super": len(report.super_hit_entries),
+            },
+            tests={
+                "dataset": report.dataset_tests,
+                "baseline": report.baseline_tests,
+                "probe": report.probe_tests,
+            },
+            stage_seconds=dict(report.stage_seconds),
+            total_seconds=report.total_seconds,
+            queue_seconds=queue_seconds,
+            batch_size=batch_size,
+            request_id=request_id,
+        )
+
+    def _body(self) -> dict:
+        payload = {
+            "answer": sorted(self.answer, key=repr),
+            "query_id": self.query_id,
+            "query_type": self.query_type.value,
+            "hits": dict(self.hits),
+            "tests": dict(self.tests),
+            "stage_seconds": dict(self.stage_seconds),
+            "total_seconds": self.total_seconds,
+        }
+        server: dict = {}
+        if self.queue_seconds is not None:
+            server["queue_seconds"] = self.queue_seconds
+        if self.batch_size is not None:
+            server["batch_size"] = self.batch_size
+        if server:
+            payload["server"] = server
+        return json_safe(payload)
+
+    def to_wire(self, version: int = PROTOCOL_VERSION) -> dict:
+        if version == 1:
+            return self._body()
+        payload: dict = {"version": 2, "result": self._body()}
+        if self.request_id is not None:
+            payload["request_id"] = self.request_id
+        return payload
+
+    @classmethod
+    def from_wire(cls, payload: dict) -> "QueryResponse":
+        version = detect_version(payload)
+        body = payload if version == 1 else payload.get("result")
+        if not isinstance(body, dict) or "answer" not in body:
+            raise ProtocolError("response has no 'answer' field")
+        server = body.get("server", {}) or {}
+        return cls(
+            answer=frozenset(body["answer"]),
+            query_id=body.get("query_id"),
+            query_type=QueryType.parse(body.get("query_type", "subgraph")),
+            hits=dict(body.get("hits", {})),
+            tests=dict(body.get("tests", {})),
+            stage_seconds=dict(body.get("stage_seconds", {})),
+            total_seconds=body.get("total_seconds"),
+            queue_seconds=server.get("queue_seconds"),
+            batch_size=server.get("batch_size"),
+            request_id=payload.get("request_id") if version >= 2 else None,
+        )
+
+
+# ---------------------------------------------------------------------- #
+# errors
+# ---------------------------------------------------------------------- #
+#: v1 error payloads carry these detail keys flat next to ``"error"`` (the
+#: pre-envelope 429 shape clients already understand).
+_V1_DETAIL_KEYS = ("queue_depth", "shard", "estimated_cost_seconds")
+
+#: Fallback codes inferred from a bare HTTP status when a v1 error payload
+#: (message string only) must be lifted into the taxonomy.
+_STATUS_CODES = {
+    400: "protocol",
+    429: "admission-rejected",
+    500: UNKNOWN_CODE,
+    503: "server-closed",
+    504: "timeout",
+}
+
+
+@dataclass
+class ErrorEnvelope:
+    """A failed request as a typed, transport-independent envelope."""
+
+    code: str
+    message: str
+    http_status: int = 500
+    retryable: bool = False
+    details: dict = field(default_factory=dict)
+    request_id: str | int | None = None
+
+    @classmethod
+    def from_exception(cls, exc: BaseException,
+                       request_id: str | int | None = None) -> "ErrorEnvelope":
+        """Classify an exception via the taxonomy table."""
+        if isinstance(exc, GraphCacheError):
+            rule = rule_for(exc)
+            return cls(code=rule.code, message=str(exc),
+                       http_status=rule.http_status, retryable=rule.retryable,
+                       details=details_for(exc), request_id=request_id)
+        return cls(code=UNKNOWN_CODE, message=f"{type(exc).__name__}: {exc}",
+                   http_status=500, retryable=False, request_id=request_id)
+
+    @classmethod
+    def timeout(cls, message: str,
+                request_id: str | int | None = None) -> "ErrorEnvelope":
+        """The serving pipeline missed its deadline (HTTP 504, retryable)."""
+        return cls(code="timeout", message=message, http_status=504,
+                   retryable=True, request_id=request_id)
+
+    def to_exception(self) -> GraphCacheError:
+        """The typed exception this envelope describes (taxonomy round-trip)."""
+        return reconstruct(self.code, self.message, self.details)
+
+    def to_wire(self, version: int = PROTOCOL_VERSION) -> dict:
+        if version == 1:
+            payload = {"error": self.message}
+            for key in _V1_DETAIL_KEYS:
+                if key in self.details:
+                    payload[key] = self.details[key]
+            return json_safe(payload)
+        body = {
+            "code": self.code,
+            "message": self.message,
+            "http_status": self.http_status,
+            "retryable": self.retryable,
+            "details": dict(self.details),
+        }
+        payload = {"version": 2, "error": body}
+        if self.request_id is not None:
+            payload["request_id"] = self.request_id
+        return json_safe(payload)
+
+    @classmethod
+    def from_wire(cls, payload: dict, http_status: int | None = None) -> "ErrorEnvelope":
+        """Parse either wire version.
+
+        A v1 error is a bare message string, so the taxonomy ``code`` must be
+        inferred from the transport's ``http_status`` (pass it when known).
+        """
+        version = detect_version(payload)
+        if version >= 2:
+            body = payload.get("error")
+            if not isinstance(body, dict) or "message" not in body:
+                raise ProtocolError("v2 error payload has no 'error' object")
+            return cls(
+                code=body.get("code", UNKNOWN_CODE),
+                message=body["message"],
+                http_status=body.get("http_status", http_status or 500),
+                retryable=bool(body.get("retryable", False)),
+                details=dict(body.get("details", {})),
+                request_id=payload.get("request_id"),
+            )
+        if "error" not in payload:
+            raise ProtocolError("v1 error payload has no 'error' field")
+        details = {key: payload[key] for key in _V1_DETAIL_KEYS if key in payload}
+        status = http_status or 500
+        code = _STATUS_CODES.get(status, UNKNOWN_CODE)
+        # v1 carries no retryable flag: recover the taxonomy's advice for
+        # the inferred code so v1 and v2 clients treat backpressure alike
+        rule = rule_for_code(code)
+        retryable = rule.retryable if rule is not None else code == TIMEOUT_CODE
+        return cls(code=code, message=str(payload["error"]), http_status=status,
+                   retryable=retryable, details=details)
+
+
+def parse_response(
+    payload: dict, http_status: int | None = None
+) -> Union[QueryResponse, ErrorEnvelope]:
+    """Parse a response payload into the success or the error envelope.
+
+    An ``"error"`` key marks a failure in both wire versions (the v1 flat
+    success shape never carries one), so no per-version branching is needed.
+    """
+    detect_version(payload)
+    if "error" in payload:
+        return ErrorEnvelope.from_wire(payload, http_status=http_status)
+    return QueryResponse.from_wire(payload)
+
+
+# ---------------------------------------------------------------------- #
+# batches and metrics
+# ---------------------------------------------------------------------- #
+@dataclass
+class BatchResult:
+    """Per-item outcomes of one batch: a response or an error per position."""
+
+    items: list  # list[QueryResponse | ErrorEnvelope]
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __iter__(self):
+        return iter(self.items)
+
+    def __getitem__(self, index: int):
+        return self.items[index]
+
+    @property
+    def responses(self) -> list[QueryResponse]:
+        return [item for item in self.items if isinstance(item, QueryResponse)]
+
+    @property
+    def failures(self) -> list[ErrorEnvelope]:
+        return [item for item in self.items if isinstance(item, ErrorEnvelope)]
+
+    @property
+    def ok(self) -> bool:
+        """True when every item in the batch succeeded."""
+        return not self.failures
+
+    def answers(self) -> list[frozenset | None]:
+        """Answer set per position (``None`` where the item failed)."""
+        return [
+            item.answer if isinstance(item, QueryResponse) else None
+            for item in self.items
+        ]
+
+    def raise_first(self) -> "BatchResult":
+        """Raise the first failure's typed exception; returns self when ok."""
+        for item in self.items:
+            if isinstance(item, ErrorEnvelope):
+                raise item.to_exception()
+        return self
+
+
+@dataclass
+class MetricsSnapshot:
+    """The ``/metrics`` surface as a typed envelope (one point in time).
+
+    ``statistics`` is the :class:`StatisticsManager` snapshot (merged +
+    per-shard aggregates for sharded systems); the optional sections mirror
+    what the serving layer exposes for each system shape.
+    """
+
+    statistics: dict = field(default_factory=dict)
+    hit_percentages: list = field(default_factory=list)
+    cache: dict | None = None
+    shards: list | None = None
+    router: dict | None = None
+    scatter: dict | None = None
+
+    @classmethod
+    def from_system(cls, system) -> "MetricsSnapshot":
+        """Snapshot a live system (single or sharded facade)."""
+        snapshot = cls(
+            statistics=system.statistics.to_dict(),
+            hit_percentages=json_safe(system.hit_percentages()),
+        )
+        describe_shards = getattr(system, "describe_shards", None)
+        if describe_shards is not None:
+            snapshot.shards = json_safe(describe_shards())
+            snapshot.router = json_safe(system.router.describe())
+            snapshot.scatter = json_safe(system.scatter_metrics())
+        elif system.cache is not None:
+            snapshot.cache = json_safe(system.cache.describe())
+        return snapshot
+
+    @property
+    def aggregate(self) -> dict:
+        """The merged aggregate statistics block."""
+        return self.statistics.get("aggregate", {})
+
+    def to_wire(self) -> dict:
+        payload: dict = {
+            "statistics": self.statistics,
+            "hit_percentages": self.hit_percentages,
+        }
+        for key in ("cache", "shards", "router", "scatter"):
+            value = getattr(self, key)
+            if value is not None:
+                payload[key] = value
+        return json_safe(payload)
+
+    @classmethod
+    def from_wire(cls, payload: dict) -> "MetricsSnapshot":
+        if not isinstance(payload, dict) or "statistics" not in payload:
+            raise ProtocolError("metrics payload has no 'statistics' section")
+        return cls(
+            statistics=payload["statistics"],
+            hit_percentages=list(payload.get("hit_percentages", [])),
+            cache=payload.get("cache"),
+            shards=payload.get("shards"),
+            router=payload.get("router"),
+            scatter=payload.get("scatter"),
+        )
+
+
+# ---------------------------------------------------------------------- #
+# wire helpers shared by the replay machinery (version-agnostic reads)
+# ---------------------------------------------------------------------- #
+def wire_version(payload: object) -> int:
+    """Best-effort wire version of a payload: lenient, never raises.
+
+    Unlike :func:`detect_version` this tolerates junk (non-dict payloads,
+    non-int versions) by answering 1, so hot-path readers in replay worker
+    threads degrade to a parse error instead of dying on a ``TypeError``.
+    """
+    if not isinstance(payload, dict):
+        return 1
+    version = payload.get("version", 1)
+    if isinstance(version, int) and not isinstance(version, bool) and version >= 2:
+        return version
+    return 1
+
+
+def wire_result(payload: dict) -> dict:
+    """The flat result body of a success payload, whatever its version."""
+    if wire_version(payload) >= 2:
+        return payload.get("result", {}) or {}
+    return payload if isinstance(payload, dict) else {}
+
+
+def wire_error_message(payload: dict) -> str:
+    """The human-readable error message, whatever the payload's version."""
+    if not isinstance(payload, dict):
+        return str(payload)
+    error = payload.get("error", "")
+    if isinstance(error, dict):
+        return str(error.get("message", error))
+    return str(error)

@@ -1,0 +1,242 @@
+"""RemoteGraphService: the sync-HTTP backend of the service boundary.
+
+A stdlib (``http.client``) client speaking the versioned envelope protocol
+against a :class:`~repro.server.app.QueryServer`.  One keep-alive connection
+per thread, so thread-pool load generators don't pay a TCP handshake per
+query.  This replaces the bespoke ``QueryServerClient`` plumbing — the old
+class still exists in :mod:`repro.workload.replay` as a thin v1-pinned
+subclass for callers that want the raw payload dicts.
+
+Protocol version is negotiated lazily on first use (``GET /protocol``; a
+server without the endpoint is treated as v1-only) and can be pinned via the
+constructor.  Errors come back as the same typed :mod:`repro.errors`
+exceptions an in-process system raises, reconstructed from the wire
+taxonomy — a 429 raises :class:`AdmissionRejectedError` with its
+``shard``/``queue_depth`` attributes intact, never parsed from message text.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+
+from repro.api.envelopes import (
+    BatchResult,
+    ErrorEnvelope,
+    MetricsSnapshot,
+    QueryResponse,
+    SUPPORTED_VERSIONS,
+    as_request,
+    negotiate_version,
+    parse_response,
+)
+from repro.errors import ProtocolError, ServerError
+from repro.query_model import QueryType
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - runtime import is lazy (replay.py imports us)
+    from repro.workload.workload import Workload
+
+
+# ---------------------------------------------------------------------- #
+# wire logic shared by the sync and async transports — one definition, so
+# a protocol change cannot silently skew one backend against the other
+# ---------------------------------------------------------------------- #
+def validate_pinned_version(protocol_version: int | None) -> None:
+    """Reject pinning a wire version this library cannot speak."""
+    if protocol_version is not None and protocol_version not in SUPPORTED_VERSIONS:
+        raise ProtocolError(
+            f"cannot pin unsupported protocol version {protocol_version!r}; "
+            f"supported: {', '.join(str(v) for v in SUPPORTED_VERSIONS)}"
+        )
+
+
+def negotiated_version_from(status: int, payload: dict) -> int:
+    """Interpret a ``GET /protocol`` reply (404 = pre-envelope v1-only)."""
+    if status == 404:
+        return 1
+    if status != 200:
+        raise ServerError(f"/protocol replied {status}: {payload}")
+    versions = payload.get("versions")
+    if not isinstance(versions, list) or not versions:
+        raise ProtocolError(f"malformed /protocol payload: {payload!r}")
+    return negotiate_version(versions)
+
+
+def recording_start_body(name: str | None, path: str | None) -> dict:
+    """The ``POST /record/start`` request body."""
+    body: dict = {}
+    if name is not None:
+        body["name"] = name
+    if path is not None:
+        body["path"] = str(path)
+    return body
+
+
+def trace_from_stop_payload(payload: dict) -> "Workload":
+    """The recorded trace a ``POST /record/stop`` reply describes."""
+    from repro.workload.workload import Workload
+
+    if payload.get("trace") is not None:
+        return Workload.from_dict(payload["trace"])
+    path = payload.get("path")
+    if path is None:
+        raise ServerError(f"malformed /record/stop payload: {payload!r}")
+    return Workload.load(path)
+
+
+class RemoteGraphService:
+    """Sync HTTP :class:`GraphService` backend (keep-alive per thread)."""
+
+    backend = "remote-sync"
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 60.0,
+        protocol_version: int | None = None,
+    ) -> None:
+        validate_pinned_version(protocol_version)
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._local = threading.local()
+        self._version = protocol_version
+        self._version_lock = threading.Lock()
+
+    @classmethod
+    def for_server(cls, server, timeout: float = 60.0, **kwargs) -> "RemoteGraphService":
+        """Client bound to an in-process :class:`QueryServer`."""
+        return cls(server.host, server.port, timeout=timeout, **kwargs)
+
+    # ------------------------------------------------------------------ #
+    # transport
+    # ------------------------------------------------------------------ #
+    def _connection(self) -> http.client.HTTPConnection:
+        connection = getattr(self._local, "connection", None)
+        if connection is None:
+            connection = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+            self._local.connection = connection
+        return connection
+
+    def _request(self, method: str, path: str, body: dict | None = None) -> tuple[int, dict]:
+        payload = json.dumps(body).encode("utf-8") if body is not None else None
+        headers = {"Content-Type": "application/json"} if payload else {}
+        for attempt in (0, 1):
+            connection = self._connection()
+            try:
+                connection.request(method, path, body=payload, headers=headers)
+                response = connection.getresponse()
+                data = response.read()
+                return response.status, json.loads(data) if data else {}
+            except TimeoutError:
+                # the server may still be executing the request: retrying a
+                # POST would run the query twice (double-counted statistics),
+                # so timeouts always propagate
+                self.close()
+                raise
+            except (http.client.HTTPException, ConnectionError, OSError):
+                # stale keep-alive connection (server closed it between
+                # requests, before processing anything): reconnect once
+                self.close()
+                if attempt:
+                    raise
+        raise ServerError("unreachable")  # pragma: no cover - loop always returns
+
+    def close(self) -> None:
+        """Drop this thread's connection (others close on their own threads)."""
+        connection = getattr(self._local, "connection", None)
+        if connection is not None:
+            connection.close()
+            self._local.connection = None
+
+    def __enter__(self) -> "RemoteGraphService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # protocol negotiation
+    # ------------------------------------------------------------------ #
+    @property
+    def protocol_version(self) -> int:
+        """The wire version in use (negotiates on first access)."""
+        if self._version is None:
+            with self._version_lock:
+                if self._version is None:
+                    self._version = self.negotiate()
+        return self._version
+
+    def negotiate(self) -> int:
+        """Ask the server which protocol versions it speaks and pick one.
+
+        A server without a ``/protocol`` endpoint (pre-envelope builds)
+        answers 404 and is treated as v1-only.
+        """
+        status, payload = self._request("GET", "/protocol")
+        return negotiated_version_from(status, payload)
+
+    # ------------------------------------------------------------------ #
+    # GraphService surface
+    # ------------------------------------------------------------------ #
+    def send(self, query, query_type: QueryType | str = QueryType.SUBGRAPH) -> tuple[int, dict]:
+        """POST one query; returns the raw ``(http_status, payload)``."""
+        request = as_request(query, query_type)
+        return self._request("POST", "/query", request.to_wire(self.protocol_version))
+
+    def run(self, query, query_type: QueryType | str = QueryType.SUBGRAPH) -> QueryResponse:
+        """Execute one query, raising the typed error on any failure."""
+        status, payload = self.send(query, query_type)
+        outcome = parse_response(payload, http_status=status)
+        if isinstance(outcome, ErrorEnvelope):
+            raise outcome.to_exception()
+        return outcome
+
+    def run_batch(self, queries) -> BatchResult:
+        """Execute queries sequentially over the keep-alive connection."""
+        items: list = []
+        for query in queries:
+            request = as_request(query)
+            try:
+                items.append(self.run(request))
+            except Exception as exc:
+                items.append(ErrorEnvelope.from_exception(
+                    exc, request_id=request.request_id))
+        return BatchResult(items=items)
+
+    def metrics(self) -> MetricsSnapshot:
+        return MetricsSnapshot.from_wire(self._ok("GET", "/metrics"))
+
+    def stats(self) -> dict:
+        return self._ok("GET", "/stats")
+
+    def health(self) -> dict:
+        return self._ok("GET", "/health")
+
+    def _ok(self, method: str, path: str, body: dict | None = None) -> dict:
+        status, payload = self._request(method, path, body)
+        if status != 200:
+            raise ServerError(f"{path} replied {status}: {payload}")
+        return payload
+
+    # ------------------------------------------------------------------ #
+    # server-side trace recording
+    # ------------------------------------------------------------------ #
+    def start_recording(self, name: str | None = None,
+                        path: str | None = None) -> dict:
+        """Start recording the server's live request stream as a trace.
+
+        ``path`` (a server-side filesystem path) makes ``stop`` persist the
+        trace there; without it the trace JSON comes back inline on stop.
+        """
+        return self._ok("POST", "/record/start", recording_start_body(name, path))
+
+    def stop_recording(self) -> "Workload":
+        """Stop recording; returns the captured replayable trace."""
+        return trace_from_stop_payload(self._ok("POST", "/record/stop", {}))

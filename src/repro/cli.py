@@ -26,6 +26,7 @@ import time
 from pathlib import Path
 
 from repro import __version__
+from repro.api.remote import RemoteGraphService
 from repro.cache.policies.registry import available_policies
 from repro.dashboard import (
     DeveloperMonitor,
@@ -51,7 +52,6 @@ from repro.server import QueryServer
 from repro.sharding import make_system
 from repro.workload import (
     TRACE_SKEWS,
-    QueryServerClient,
     Workload,
     WorkloadGenerator,
     compare_policies,
@@ -157,7 +157,14 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--qps", type=float, default=None,
                          help="open-loop target QPS (default: closed-loop)")
     loadgen.add_argument("--threads", type=int, default=4,
-                         help="concurrent client connections")
+                         help="concurrent client threads (sync client)")
+    loadgen.add_argument("--async-client", action="store_true",
+                         help="use the asyncio client: thousands of pooled "
+                              "connections in one process, no thread per "
+                              "connection")
+    loadgen.add_argument("--connections", type=int, default=512,
+                         help="connection pool size of the async client "
+                              "(pre-opened before the clock starts)")
 
     return parser
 
@@ -312,7 +319,13 @@ def cmd_serve(args) -> int:
 
 
 def cmd_loadgen(args) -> int:
-    """Replay a (loaded or generated) trace against a running server."""
+    """Replay a (loaded or generated) trace against a running server.
+
+    Both replay modes go through the :mod:`repro.api` SDK: the sync client
+    (`--threads` keep-alive connections, one thread each) or, with
+    ``--async-client``, the asyncio client holding ``--connections`` pooled
+    connections on one event loop.
+    """
     if args.trace is not None:
         trace = Workload.load(args.trace)
     else:
@@ -322,9 +335,22 @@ def cmd_loadgen(args) -> int:
         if args.save_trace is not None:
             trace.save(args.save_trace)
             print(f"trace saved to {args.save_trace}")
-    client = QueryServerClient(args.host, args.port)
+    client = RemoteGraphService(args.host, args.port)
     client.health()  # fail fast when no server is listening
-    result = replay_trace(client, trace, target_qps=args.qps, num_threads=args.threads)
+    if args.async_client:
+        # the probe connection must not sit on a server slot while the
+        # async pool — whose capacity this mode measures — does the work
+        client.close()
+        from repro.api.aio import replay_trace_async_blocking
+
+        result = replay_trace_async_blocking(
+            args.host, args.port, trace, target_qps=args.qps,
+            max_connections=args.connections,
+            warm_connections=min(args.connections, len(trace)),
+        )
+    else:
+        result = replay_trace(client, trace, target_qps=args.qps,
+                              num_threads=args.threads)
     print(format_table([result.summary()]))
     return 0 if result.errors == 0 else 1
 

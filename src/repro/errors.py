@@ -140,5 +140,9 @@ class ServerClosedError(ServerError):
     """A request arrived while the server/batcher was draining or stopped."""
 
 
+class RecordingStateError(ServerError):
+    """Trace recording started while active, or stopped while idle (409)."""
+
+
 class ProtocolError(ServerError):
     """A request or response payload violated the JSON wire protocol."""

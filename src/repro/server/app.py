@@ -3,15 +3,24 @@
 Stdlib only (``http.server`` + ``threading``).  The server owns one shared
 :class:`GraphCacheSystem` — thread-safe cache, staged pipeline, optional
 async maintenance worker — and fronts it with a :class:`RequestBatcher`
-(bounded admission queue + batch coalescing).  Endpoints:
+(bounded admission queue + batch coalescing).  It speaks the versioned
+envelope protocol of :mod:`repro.api.envelopes` natively: v2 requests get v2
+responses, legacy v1 payloads are auto-upgraded on the way in and answered
+in v1 shapes, and every error is classified through the
+:mod:`repro.api.taxonomy` table (stable ``code`` + HTTP status — never
+message-string parsing).  Endpoints:
 
-* ``POST /query``  — one JSON graph query; replies with the answer set and
-  per-stage latency.  ``429`` when the admission queue is full, ``400`` on
+* ``POST /query``        — one JSON graph query (v1 or v2 envelope); replies
+  with the answer set and per-stage latency.  ``429`` when admission rejects
+  (the envelope names the hot shard under cost-based mode), ``400`` on
   malformed payloads, ``503`` while draining, ``504`` on timeout.
-* ``GET /metrics`` — the :class:`StatisticsManager` snapshot (hit rate,
+* ``GET /protocol``      — version negotiation: the wire versions served.
+* ``POST /record/start`` / ``POST /record/stop`` — server-side trace
+  recording: persist the live request stream as a replayable trace.
+* ``GET /metrics``       — the :class:`StatisticsManager` snapshot (hit rate,
   stage breakdown) plus cache population, JSON.
-* ``GET /stats``   — serving-side counters: admission/batching/uptime.
-* ``GET /health``  — liveness probe.
+* ``GET /stats``         — serving-side counters: admission/batching/uptime.
+* ``GET /health``        — liveness probe.
 
 Lifecycle: ``start()`` serves on a background thread; ``stop()`` performs a
 graceful drain (no accepted query is dropped), persists the cache snapshot
@@ -29,14 +38,33 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 
 from repro import __version__
+from repro.api.envelopes import (
+    ErrorEnvelope,
+    MetricsSnapshot,
+    PROTOCOL_VERSION,
+    SUPPORTED_VERSIONS,
+    parse_request,
+)
+from repro.api.recording import TraceRecorder
 from repro.cache.statistics import json_safe
-from repro.errors import AdmissionRejectedError, ProtocolError, ServerClosedError
+from repro.errors import ProtocolError, RecordingStateError
 from repro.graph.graph import Graph
 from repro.methods.base import MethodM
 from repro.runtime.config import GCConfig
 from repro.server.batcher import RequestBatcher
-from repro.server.protocol import query_from_payload, report_to_payload
 from repro.sharding import make_system
+
+
+class _HTTPServer(ThreadingHTTPServer):
+    """The transport: one thread per connection, sized for thousands.
+
+    The async client opens connections in bursts, so the listen backlog must
+    be far deeper than :mod:`socketserver`'s default of 5 or a warm-up wave
+    gets connection-refused before a single request is sent.
+    """
+
+    daemon_threads = True
+    request_queue_size = 1024
 
 
 class QueryServer:
@@ -74,7 +102,7 @@ class QueryServer:
         try:
             # bind before spawning the batcher thread or touching the
             # snapshot: a failed bind (port in use) must not leak either
-            self._httpd = ThreadingHTTPServer((host, port), _make_handler(self))
+            self._httpd = _HTTPServer((host, port), _make_handler(self))
         except OSError:
             self.system.close()
             raise
@@ -96,6 +124,7 @@ class QueryServer:
             self._httpd.server_close()
             self.system.close()
             raise
+        self.recorder = TraceRecorder()
         self.request_timeout_seconds = request_timeout_seconds
         self._thread: threading.Thread | None = None
         self._started_at = time.monotonic()
@@ -150,56 +179,93 @@ class QueryServer:
     # ------------------------------------------------------------------ #
     # request handling (HTTP-agnostic: returns status + JSON payload)
     # ------------------------------------------------------------------ #
+    @staticmethod
+    def _error(exc: BaseException, version: int,
+               request_id=None) -> tuple[int, dict]:
+        """Render any exception via the taxonomy, in the request's version."""
+        envelope = ErrorEnvelope.from_exception(exc, request_id=request_id)
+        return envelope.http_status, envelope.to_wire(version)
+
     def serve_query(self, payload: dict) -> tuple[int, dict]:
-        """Admit, batch and execute one query payload."""
+        """Admit, batch and execute one query payload (v1 or v2 envelope)."""
         try:
-            query = query_from_payload(payload)
+            request, version = parse_request(payload)
         except ProtocolError as exc:
-            return 400, {"error": str(exc)}
+            # a payload that *declares* version >= 2 gets a v2-shaped error
+            # (it clearly speaks envelopes); anything else — bare legacy
+            # payloads and explicit "version": 1 alike — gets v1 strings
+            declared = payload.get("version", 1) if isinstance(payload, dict) else 1
+            spoke_v2 = (isinstance(declared, int)
+                        and not isinstance(declared, bool) and declared >= 2)
+            return self._error(exc, PROTOCOL_VERSION if spoke_v2 else 1)
+        self.recorder.record(request)
         try:
-            future = self.batcher.submit(query)
-        except AdmissionRejectedError as exc:
-            payload = {"error": str(exc), "queue_depth": exc.queue_depth}
-            if exc.shard is not None:
-                payload["shard"] = exc.shard
-            return 429, payload
-        except ServerClosedError as exc:
-            return 503, {"error": str(exc)}
+            future = self.batcher.submit(request)
+        except Exception as exc:  # admission rejected / draining
+            return self._error(exc, version, request.request_id)
         try:
             served = future.result(timeout=self.request_timeout_seconds)
         except FutureTimeoutError:
-            return 504, {"error": "query timed out in the serving pipeline"}
-        except ServerClosedError as exc:
-            return 503, {"error": str(exc)}
+            envelope = ErrorEnvelope.timeout(
+                "query timed out in the serving pipeline",
+                request_id=request.request_id,
+            )
+            return envelope.http_status, envelope.to_wire(version)
         except Exception as exc:  # execution error inside the pipeline
-            return 500, {"error": f"{type(exc).__name__}: {exc}"}
-        return 200, report_to_payload(
-            served.report,
-            queue_seconds=served.queue_seconds,
-            batch_size=served.batch_size,
-        )
+            return self._error(exc, version, request.request_id)
+        return 200, served.to_response(request_id=request.request_id).to_wire(version)
 
+    def protocol(self) -> dict:
+        """The ``/protocol`` payload: wire versions this server speaks."""
+        return {
+            "versions": list(SUPPORTED_VERSIONS),
+            "preferred": PROTOCOL_VERSION,
+            "server": f"GraphCacheServer/{__version__}",
+        }
+
+    # ------------------------------------------------------------------ #
+    # trace recording
+    # ------------------------------------------------------------------ #
+    def record_start(self, payload: dict) -> tuple[int, dict]:
+        """Begin recording the live request stream (``POST /record/start``)."""
+        name = payload.get("name")
+        path = payload.get("path")
+        if name is not None and not isinstance(name, str):
+            return self._error(ProtocolError("'name' must be a string"), PROTOCOL_VERSION)
+        if path is not None and not isinstance(path, str):
+            return self._error(ProtocolError("'path' must be a string"), PROTOCOL_VERSION)
+        try:
+            return 200, self.recorder.start(name=name, path=path)
+        except RecordingStateError as exc:
+            return self._error(exc, PROTOCOL_VERSION)
+
+    def record_stop(self) -> tuple[int, dict]:
+        """Stop recording; persist and/or return the trace (``/record/stop``).
+
+        When the server-side persist fails the trace comes back inline
+        instead (never lost), with the write error noted in its metadata.
+        """
+        try:
+            trace, path = self.recorder.stop()
+        except RecordingStateError as exc:
+            return self._error(exc, PROTOCOL_VERSION)
+        payload: dict = {"recorded": len(trace), "name": trace.name, "path": path}
+        if path is None:
+            payload["trace"] = trace.to_dict()
+        return 200, payload
+
+    # ------------------------------------------------------------------ #
+    # observability
+    # ------------------------------------------------------------------ #
     def metrics(self) -> dict:
         """The ``/metrics`` payload: statistics snapshot + cache population.
 
         For a sharded system the statistics snapshot already carries the
-        per-shard aggregates; a ``shards`` section adds each shard's cache
-        population and memory so operators see how load distributes.
+        per-shard aggregates; ``shards``/``router``/``scatter`` sections add
+        each shard's population and what short-circuit scatter + cost-based
+        admission did (see :class:`repro.api.envelopes.MetricsSnapshot`).
         """
-        payload = {
-            "statistics": self.system.statistics.to_dict(),
-            "hit_percentages": json_safe(self.system.hit_percentages()),
-        }
-        describe_shards = getattr(self.system, "describe_shards", None)
-        if describe_shards is not None:
-            payload["shards"] = json_safe(describe_shards())
-            payload["router"] = json_safe(self.system.router.describe())
-            # skip rates, mean fan-out, summary health and per-shard cost
-            # signals: what short-circuit scatter + cost-based admission did
-            payload["scatter"] = json_safe(self.system.scatter_metrics())
-        elif self.system.cache is not None:
-            payload["cache"] = json_safe(self.system.cache.describe())
-        return payload
+        return MetricsSnapshot.from_system(self.system).to_wire()
 
     def stats(self) -> dict:
         """The ``/stats`` payload: serving-side counters and identity."""
@@ -211,6 +277,11 @@ class QueryServer:
                 "restored_entries": self.restored_entries,
                 "snapshot_path": str(self.snapshot_path) if self.snapshot_path else None,
                 "draining": self.batcher.closed,
+                "protocol_versions": list(SUPPORTED_VERSIONS),
+            },
+            "recording": {
+                "active": self.recorder.active,
+                "recorded": self.recorder.recorded,
             },
             "batcher": self.batcher.stats().to_dict(),
             "config": json_safe(self.system.config.to_dict()),
@@ -233,15 +304,21 @@ def _make_handler(server: QueryServer) -> type[BaseHTTPRequestHandler]:
             except ValueError:
                 self._reply(400, {"error": "bad Content-Length header"})
                 return
-            if self.path != "/query":
-                self._reply(404, {"error": f"unknown path {self.path!r}"})
-                return
             try:
                 payload = json.loads(raw or b"{}")
             except json.JSONDecodeError as exc:
                 self._reply(400, {"error": f"malformed JSON body: {exc}"})
                 return
-            status, body = server.serve_query(payload)
+            if self.path == "/query":
+                status, body = server.serve_query(payload)
+            elif self.path == "/record/start":
+                status, body = server.record_start(
+                    payload if isinstance(payload, dict) else {}
+                )
+            elif self.path == "/record/stop":
+                status, body = server.record_stop()
+            else:
+                status, body = 404, {"error": f"unknown path {self.path!r}"}
             self._reply(status, body)
 
         def do_GET(self) -> None:
@@ -251,6 +328,8 @@ def _make_handler(server: QueryServer) -> type[BaseHTTPRequestHandler]:
                 self._reply(200, server.stats())
             elif self.path == "/health":
                 self._reply(200, {"status": "ok"})
+            elif self.path == "/protocol":
+                self._reply(200, server.protocol())
             else:
                 self._reply(404, {"error": f"unknown path {self.path!r}"})
 

@@ -34,6 +34,7 @@ from dataclasses import dataclass, field
 
 from typing import TYPE_CHECKING, Union
 
+from repro.api.envelopes import QueryRequest, QueryResponse
 from repro.errors import AdmissionRejectedError, ConfigurationError, ServerClosedError
 from repro.query_model import Query
 from repro.runtime.config import ADMISSION_MODES
@@ -57,6 +58,15 @@ class ServedQuery:
     queue_seconds: float
     #: Number of queries coalesced into the batch that served this query.
     batch_size: int
+
+    def to_response(self, request_id: str | int | None = None) -> QueryResponse:
+        """The typed response envelope, serving metadata included."""
+        return QueryResponse.from_report(
+            self.report,
+            queue_seconds=self.queue_seconds,
+            batch_size=self.batch_size,
+            request_id=request_id,
+        )
 
 
 @dataclass
@@ -173,15 +183,19 @@ class RequestBatcher:
     # ------------------------------------------------------------------ #
     # admission
     # ------------------------------------------------------------------ #
-    def submit(self, query: Query) -> Future:
+    def submit(self, query: Query | QueryRequest) -> Future:
         """Enqueue one query; the future resolves to a :class:`ServedQuery`.
 
-        Raises :class:`AdmissionRejectedError` when the bounded queue is
-        full, or — in cost-based mode — when a shard the query's scatter
-        plan targets has exhausted its outstanding-cost budget (the error
-        then names the hot shard); :class:`ServerClosedError` once draining
-        started.
+        Accepts an executable :class:`Query` or a
+        :class:`~repro.api.envelopes.QueryRequest` envelope (the server's
+        native currency), which is unwrapped here.  Raises
+        :class:`AdmissionRejectedError` when the bounded queue is full, or —
+        in cost-based mode — when a shard the query's scatter plan targets
+        has exhausted its outstanding-cost budget (the error then names the
+        hot shard); :class:`ServerClosedError` once draining started.
         """
+        if isinstance(query, QueryRequest):
+            query = query.to_query()
         pending = _Pending(query=query, future=Future(), enqueued_at=time.monotonic())
         if self.admission_mode == "cost-based":
             pending.costs = self._reserve_costs(query)

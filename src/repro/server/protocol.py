@@ -1,12 +1,16 @@
-"""JSON wire protocol of the query server.
+"""JSON wire protocol of the query server (compatibility shim).
 
-One request = one graph query::
+The protocol definition now lives in :mod:`repro.api.envelopes` as typed,
+versioned envelopes (v2 with v1 auto-upgrade); this module keeps the
+original function surface for existing callers.  New code should use
+:class:`repro.api.QueryRequest` / :class:`repro.api.QueryResponse` directly.
+
+One v1 request = one graph query::
 
     {"graph": {... Graph.to_dict() ...}, "query_type": "subgraph",
      "metadata": {...}}
 
-One response = the answer set plus the observability payload the paper's
-demonstrator surfaces per query (hits, per-stage latency, tests saved)::
+One v1 response = the answer set plus the observability payload::
 
     {"answer": [...], "query_id": 7, "query_type": "subgraph",
      "hits": {"exact": false, "sub": 2, "super": 0},
@@ -15,46 +19,31 @@ demonstrator surfaces per query (hits, per-stage latency, tests saved)::
      "total_seconds": ...,
      "server": {"queue_seconds": ..., "batch_size": ...}}
 
-Everything is JSON-safe (graph ids may be ints or strings; infinities are
-mapped to ``None`` by :func:`repro.cache.statistics.json_safe`).
+See :mod:`repro.api.envelopes` for the v2 envelope shapes.
 """
 
 from __future__ import annotations
 
-from repro.cache.statistics import json_safe
+from repro.api.envelopes import (
+    QueryRequest,
+    QueryResponse,
+    parse_request,
+    wire_version,
+)
 from repro.errors import ProtocolError
-from repro.graph.graph import Graph
-from repro.query_model import Query, QueryType
+from repro.query_model import Query
 from repro.runtime.report import QueryReport
 
 
 def query_to_payload(query: Query) -> dict:
-    """Serialise a query into the request wire format."""
-    return {
-        "graph": query.graph.to_dict(),
-        "query_type": query.query_type.value,
-        "metadata": dict(query.metadata),
-    }
+    """Serialise a query into the v1 request wire format."""
+    return QueryRequest.from_query(query).to_wire(version=1)
 
 
 def query_from_payload(payload: dict) -> Query:
-    """Parse a request payload into a :class:`Query` (fresh query id)."""
-    if not isinstance(payload, dict):
-        raise ProtocolError(f"request must be a JSON object, got {type(payload).__name__}")
-    if "graph" not in payload:
-        raise ProtocolError("request has no 'graph' field")
-    try:
-        graph = Graph.from_dict(payload["graph"])
-    except Exception as exc:
-        raise ProtocolError(f"malformed 'graph' payload: {exc}") from exc
-    try:
-        query_type = QueryType.parse(payload.get("query_type", "subgraph"))
-    except ValueError as exc:
-        raise ProtocolError(str(exc)) from exc
-    metadata = payload.get("metadata", {})
-    if not isinstance(metadata, dict):
-        raise ProtocolError("'metadata' must be a JSON object")
-    return Query(graph=graph, query_type=query_type, metadata=dict(metadata))
+    """Parse a request payload (either version) into a fresh :class:`Query`."""
+    request, _ = parse_request(payload)
+    return request.to_query()
 
 
 def report_to_payload(
@@ -62,40 +51,20 @@ def report_to_payload(
     queue_seconds: float | None = None,
     batch_size: int | None = None,
 ) -> dict:
-    """Serialise a query report into the response wire format."""
-    payload = {
-        "answer": sorted(report.answer, key=repr),
-        "query_id": report.query.query_id,
-        "query_type": report.query.query_type.value,
-        "hits": {
-            "exact": report.exact_hit_entry is not None,
-            "sub": len(report.sub_hit_entries),
-            "super": len(report.super_hit_entries),
-        },
-        "tests": {
-            "dataset": report.dataset_tests,
-            "baseline": report.baseline_tests,
-            "probe": report.probe_tests,
-        },
-        "stage_seconds": dict(report.stage_seconds),
-        "total_seconds": report.total_seconds,
-    }
-    server: dict = {}
-    if queue_seconds is not None:
-        server["queue_seconds"] = queue_seconds
-    if batch_size is not None:
-        server["batch_size"] = batch_size
-    if server:
-        payload["server"] = server
-    return json_safe(payload)
+    """Serialise a query report into the v1 response wire format."""
+    return QueryResponse.from_report(
+        report, queue_seconds=queue_seconds, batch_size=batch_size
+    ).to_wire(version=1)
 
 
 def answer_from_payload(payload: dict) -> set:
-    """Extract the answer set from a response payload.
+    """Extract the answer set from a response payload (either version).
 
     Graph ids survive JSON as-is for the int/str ids the library uses, so
     the returned set compares equal to an in-process ``report.answer``.
     """
+    if wire_version(payload) >= 2:
+        payload = payload.get("result") or {}
     if not isinstance(payload, dict) or "answer" not in payload:
         raise ProtocolError("response has no 'answer' field")
     return set(payload["answer"])

@@ -1,17 +1,23 @@
-"""Client and trace-replay load generation for the query server.
+"""Trace-replay load generation for the query server (plus the v1 client).
 
 Two halves:
 
-* :class:`QueryServerClient` — a stdlib (``http.client``) client speaking the
-  server's JSON protocol, with per-thread keep-alive connections so a load
-  generator doesn't pay a TCP handshake per query.
+* :class:`QueryServerClient` — the original client class, now a thin
+  v1-pinned facade over :class:`repro.api.remote.RemoteGraphService` for
+  callers that want raw payload dicts.  New code should use
+  :class:`~repro.api.remote.RemoteGraphService` (typed envelopes, negotiated
+  protocol) or :class:`~repro.api.aio.AsyncRemoteGraphService` directly.
 * :func:`replay_trace` — replays a recorded trace (a :class:`Workload`, which
   already JSON round-trips via ``save``/``load``) against a server from
   ``num_threads`` concurrent clients, either *closed-loop* (send as fast as
   responses return) or *open-loop* at a target QPS (each query has a fixed
   send deadline — queue buildup then shows up as latency, the way real
   traffic behaves).  The result records per-query status/latency so tail
-  percentiles and rejection (429) rates fall out directly.
+  percentiles and rejection (429) rates fall out directly.  The client may
+  speak either wire version; payload reads are version-agnostic.  The
+  asyncio counterpart (thousands of connections in one process) is
+  :func:`repro.api.aio.replay_trace_async`, which returns the same
+  :class:`ReplayResult`.
 
 Trace *generation* reuses the workload generators: :func:`generate_trace`
 maps the three canonical skews the paper's experiments vary — ``uniform``,
@@ -22,17 +28,16 @@ Everything is deterministic under a fixed seed.
 
 from __future__ import annotations
 
-import http.client
-import json
 import math
 import threading
 import time
 from dataclasses import dataclass, field
 
+from repro.api.envelopes import wire_error_message, wire_result
+from repro.api.remote import RemoteGraphService
 from repro.errors import ServerError, WorkloadError
 from repro.graph.graph import Graph
 from repro.query_model import Query, QueryType
-from repro.server.protocol import query_to_payload
 from repro.workload.generator import WorkloadGenerator, WorkloadMix
 from repro.workload.workload import Workload
 
@@ -40,77 +45,26 @@ from repro.workload.workload import Workload
 TRACE_SKEWS = ("uniform", "zipfian", "drifting")
 
 
-class QueryServerClient:
-    """JSON-protocol client with one keep-alive connection per thread."""
+class QueryServerClient(RemoteGraphService):
+    """Legacy JSON-protocol client: v1 wire, raw payload dicts.
+
+    Kept for compatibility (and for exercising the v1 auto-upgrade path end
+    to end); everything it did is now provided by its base class.  Migration:
+    ``run_query``/``metrics`` return typed envelopes on
+    :class:`RemoteGraphService` (``QueryResponse`` / ``MetricsSnapshot``)
+    instead of the raw dicts returned here.
+    """
+
+    backend = "remote-sync-v1"
 
     def __init__(self, host: str, port: int, timeout: float = 60.0) -> None:
-        self.host = host
-        self.port = port
-        self.timeout = timeout
-        self._local = threading.local()
-
-    @classmethod
-    def for_server(cls, server, timeout: float = 60.0) -> "QueryServerClient":
-        """Client bound to an in-process :class:`QueryServer`."""
-        return cls(server.host, server.port, timeout=timeout)
-
-    # ------------------------------------------------------------------ #
-    # transport
-    # ------------------------------------------------------------------ #
-    def _connection(self) -> http.client.HTTPConnection:
-        connection = getattr(self._local, "connection", None)
-        if connection is None:
-            connection = http.client.HTTPConnection(
-                self.host, self.port, timeout=self.timeout
-            )
-            self._local.connection = connection
-        return connection
-
-    def _request(self, method: str, path: str, body: dict | None = None) -> tuple[int, dict]:
-        payload = json.dumps(body).encode("utf-8") if body is not None else None
-        headers = {"Content-Type": "application/json"} if payload else {}
-        for attempt in (0, 1):
-            connection = self._connection()
-            try:
-                connection.request(method, path, body=payload, headers=headers)
-                response = connection.getresponse()
-                data = response.read()
-                return response.status, json.loads(data) if data else {}
-            except TimeoutError:
-                # the server may still be executing the request: retrying a
-                # POST would run the query twice (double-counted statistics),
-                # so timeouts always propagate
-                self.close()
-                raise
-            except (http.client.HTTPException, ConnectionError, OSError):
-                # stale keep-alive connection (server closed it between
-                # requests, before processing anything): reconnect once
-                self.close()
-                if attempt:
-                    raise
-        raise ServerError("unreachable")  # pragma: no cover - loop always returns
-
-    def close(self) -> None:
-        """Drop this thread's connection (others close on their own threads)."""
-        connection = getattr(self._local, "connection", None)
-        if connection is not None:
-            connection.close()
-            self._local.connection = None
-
-    # ------------------------------------------------------------------ #
-    # protocol
-    # ------------------------------------------------------------------ #
-    def send(self, query: Query) -> tuple[int, dict]:
-        """POST one query; returns ``(http_status, response_payload)``."""
-        return self._request("POST", "/query", query_to_payload(query))
+        super().__init__(host, port, timeout=timeout, protocol_version=1)
 
     def run_query(
         self, query: Query | Graph, query_type: QueryType | str = QueryType.SUBGRAPH
     ) -> dict:
         """Execute one query, raising :class:`ServerError` on any non-200."""
-        if not isinstance(query, Query):
-            query = Query(graph=query, query_type=QueryType.parse(query_type))
-        status, payload = self.send(query)
+        status, payload = self.send(query, query_type)
         if status != 200:
             raise ServerError(
                 f"server replied {status}: {payload.get('error', payload)}"
@@ -118,22 +72,8 @@ class QueryServerClient:
         return payload
 
     def metrics(self) -> dict:
-        """The server's ``/metrics`` snapshot."""
+        """The server's raw ``/metrics`` snapshot (a plain dict)."""
         return self._ok("GET", "/metrics")
-
-    def stats(self) -> dict:
-        """The server's ``/stats`` snapshot."""
-        return self._ok("GET", "/stats")
-
-    def health(self) -> dict:
-        """Liveness probe."""
-        return self._ok("GET", "/health")
-
-    def _ok(self, method: str, path: str) -> dict:
-        status, payload = self._request(method, path)
-        if status != 200:
-            raise ServerError(f"{path} replied {status}: {payload}")
-        return payload
 
 
 # ---------------------------------------------------------------------- #
@@ -161,6 +101,9 @@ class ReplayResult:
     elapsed_seconds: float = 0.0
     target_qps: float | None = None
     num_threads: int = 1
+    #: Peak open connections of an async replay (None for thread-based runs,
+    #: where connections == threads).
+    num_connections: int | None = None
 
     @property
     def served(self) -> int:
@@ -215,6 +158,10 @@ class ReplayResult:
             "achieved_qps": round(self.achieved_qps, 1),
             "target_qps": self.target_qps,
             "num_threads": self.num_threads,
+            "num_connections": (
+                self.num_connections if self.num_connections is not None
+                else self.num_threads
+            ),
             "p50_ms": round(tails["p50"] * 1000.0, 3),
             "p95_ms": round(tails["p95"] * 1000.0, 3),
             "p99_ms": round(tails["p99"] * 1000.0, 3),
@@ -222,12 +169,17 @@ class ReplayResult:
 
 
 def replay_trace(
-    client: QueryServerClient,
+    client: RemoteGraphService,
     trace: Workload,
     target_qps: float | None = None,
     num_threads: int = 4,
 ) -> ReplayResult:
     """Replay ``trace`` against the server from concurrent client threads.
+
+    ``client`` is any sync service client with the ``send``/``close``
+    transport surface — a :class:`~repro.api.remote.RemoteGraphService`
+    (negotiated v2 envelopes) or the legacy v1-pinned
+    :class:`QueryServerClient`; responses are read version-agnostically.
 
     ``target_qps=None`` runs closed-loop (each thread sends its next query as
     soon as the previous answer returns); a positive value runs open-loop:
@@ -268,15 +220,16 @@ def replay_trace(
                 )
                 continue
             latency = time.perf_counter() - sent
-            server_meta = payload.get("server", {}) if status == 200 else {}
+            body = wire_result(payload) if status == 200 else {}
+            server_meta = body.get("server", {})
             events[index] = ReplayEvent(
                 index=index,
                 status=status,
                 latency_seconds=latency,
-                answer=frozenset(payload["answer"]) if status == 200 else None,
+                answer=frozenset(body["answer"]) if status == 200 else None,
                 batch_size=server_meta.get("batch_size"),
                 queue_seconds=server_meta.get("queue_seconds"),
-                error=None if status == 200 else str(payload.get("error", "")),
+                error=None if status == 200 else wire_error_message(payload),
             )
 
     threads = [

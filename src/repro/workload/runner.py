@@ -82,8 +82,15 @@ def run_workload(
     the number of concurrent query streams; reports keep workload order
     either way.  ``system`` may equally be a
     :class:`~repro.sharding.system.ShardedGraphCacheSystem` — eviction and
-    memory accounting then aggregate over every shard's cache.
+    memory accounting then aggregate over every shard's cache — or a
+    :class:`~repro.api.service.LocalGraphService` facade, which is unwrapped
+    to the system it fronts (full per-query reports need the engine, not
+    just the service envelope surface).
     """
+    from repro.api.service import LocalGraphService
+
+    if isinstance(system, LocalGraphService):
+        system = system.system
     workers = system.config.max_workers if max_workers is None else max_workers
     if workers > 1:
         reports = system.run_queries_concurrent(list(workload), max_workers=workers)

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.api.remote import RemoteGraphService
 from repro.cache.statistics import AggregateStatistics
 from repro.graph.graph import Graph
 from repro.index.base import graph_id_sort_key
@@ -43,7 +44,7 @@ from repro.runtime.config import GCConfig
 from repro.runtime.system import GraphCacheSystem
 from repro.server import QueryServer
 from repro.sharding import ShardedGraphCacheSystem
-from repro.workload import QueryServerClient, Workload, replay_trace
+from repro.workload import Workload, replay_trace
 
 
 @dataclass
@@ -175,6 +176,8 @@ def run_served(
     The default (one client thread, batch size 1) is fully sequential, so
     hit counts are comparable with the in-process ``cached`` arm; larger
     values exercise batching/concurrency, where only answers are invariant.
+    The client is a :class:`RemoteGraphService`, so every differential suite
+    exercises the negotiated v2 envelope protocol end to end.
     """
     config = base_config(num_shards=num_shards, **config_overrides)
     with QueryServer(
@@ -183,7 +186,7 @@ def run_served(
         max_batch_size=max_batch_size,
         max_queue_depth=max(256, 2 * len(workload)),
     ) as server:
-        client = QueryServerClient.for_server(server)
+        client = RemoteGraphService.for_server(server)
         result = replay_trace(client, workload, num_threads=num_threads)
         aggregate = server.system.aggregate()
     if result.served != len(workload):
