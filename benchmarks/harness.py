@@ -9,6 +9,7 @@ pytest run (stdout is captured by pytest).
 
 from __future__ import annotations
 
+import functools
 import json
 import os
 import time
@@ -32,6 +33,11 @@ SMOKE_ENV_VAR = "GC_BENCH_SMOKE"
 #: can exercise the short-circuit configuration end to end.
 SHARDS_ENV_VAR = "GC_BENCH_SHARDS"
 SCATTER_ENV_VAR = "GC_BENCH_SCATTER"
+
+#: Environment override (set by ``run_all.py --shard-backend``) that pins the
+#: shard execution backend (``thread`` or ``process``) of the backend-aware
+#: benchmarks, so CI can smoke the multiprocess path end to end.
+SHARD_BACKEND_ENV_VAR = "GC_BENCH_SHARD_BACKEND"
 
 
 def smoke_mode() -> bool:
@@ -57,6 +63,24 @@ def bench_scatter_mode(default: str) -> str:
     return raw or default
 
 
+def bench_shard_backend(default: str) -> str:
+    """The shard backend (``thread``/``process``) a benchmark should pin."""
+    raw = os.environ.get(SHARD_BACKEND_ENV_VAR, "").strip()
+    return raw or default
+
+
+def available_cpus() -> int:
+    """CPU cores actually usable by this process (cgroup/affinity aware).
+
+    Process-shard scaling benchmarks record this and only enforce their
+    speedup floors when enough cores exist to express the parallelism.
+    """
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
+
+
 class SimulatedLatencyMatcher(SubgraphMatcher):
     """VF2 plus a fixed per-test latency (verification-bound deployments).
 
@@ -75,6 +99,23 @@ class SimulatedLatencyMatcher(SubgraphMatcher):
     def find_embedding(self, query: Graph, target: Graph) -> MatchResult:
         time.sleep(self._latency)
         return self._inner.find_embedding(query, target)
+
+
+def make_latency_direct_method(latency_seconds: float):
+    """Build a direct-SI method whose verifier sleeps per test.
+
+    Module-level on purpose: process shard workers receive their method
+    factory by pickling, and only module-level callables survive the spawn
+    boundary.  Use :func:`latency_method_factory` to bind the latency.
+    """
+    from repro.methods import DirectSIMethod
+
+    return DirectSIMethod(verifier=SimulatedLatencyMatcher(latency_seconds))
+
+
+def latency_method_factory(latency_seconds: float):
+    """A picklable zero-argument factory for the latency-bound method."""
+    return functools.partial(make_latency_direct_method, latency_seconds)
 
 
 def standard_dataset(num_graphs: int = 100, seed: int = 2018,

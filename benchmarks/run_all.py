@@ -35,7 +35,8 @@ RESULTS_DIR = BENCH_DIR / "results"
 
 
 def run_benchmarks(extra_args: list[str], smoke: bool = False,
-                   shards: int | None = None, scatter: str | None = None) -> int:
+                   shards: int | None = None, scatter: str | None = None,
+                   shard_backend: str | None = None) -> int:
     """Run the benchmark pytest modules; returns the pytest exit code."""
     env_path = str(REPO_ROOT / "src")
     import os
@@ -50,6 +51,8 @@ def run_benchmarks(extra_args: list[str], smoke: bool = False,
         env["GC_BENCH_SHARDS"] = str(shards)
     if scatter is not None:
         env["GC_BENCH_SCATTER"] = scatter
+    if shard_backend is not None:
+        env["GC_BENCH_SHARD_BACKEND"] = shard_backend
     command = [sys.executable, "-m", "pytest", str(BENCH_DIR), "-q", *extra_args]
     print("$", " ".join(command), "(smoke mode)" if smoke else "")
     return subprocess.call(command, cwd=REPO_ROOT, env=env)
@@ -93,6 +96,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--scatter", choices=["full", "short-circuit"], default=None,
                         help="scatter mode the scatter-aware benchmarks treat "
                              "as the arm under test (GC_BENCH_SCATTER)")
+    parser.add_argument("--shard-backend", choices=["thread", "process"],
+                        default=None,
+                        help="shard execution backend the backend-aware "
+                             "benchmarks pin (GC_BENCH_SHARD_BACKEND)")
     parser.add_argument("pytest_args", nargs="*",
                         help="extra arguments passed through to pytest")
     args = parser.parse_args(argv)
@@ -101,7 +108,8 @@ def main(argv: list[str] | None = None) -> int:
     if args.keyword:
         extra += ["-k", args.keyword]
     exit_code = run_benchmarks(extra, smoke=args.smoke,
-                               shards=args.shards, scatter=args.scatter)
+                               shards=args.shards, scatter=args.scatter,
+                               shard_backend=args.shard_backend)
     manifest = collate(exit_code, smoke=args.smoke)
     print(f"wrote {manifest}")
     return exit_code

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import socket
 import time
 
 from repro.api.envelopes import (
@@ -149,6 +150,12 @@ class AsyncRemoteGraphService:
         reader, writer = await asyncio.wait_for(
             asyncio.open_connection(self.host, self.port), timeout=self.timeout
         )
+        sock = writer.get_extra_info("socket")
+        if sock is not None:
+            # request head and body go out as separate writes; without
+            # NODELAY, Nagle holds the second one for the peer's delayed
+            # ACK (~40ms per request, even on loopback)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self.open_connections += 1
         self.peak_open_connections = max(self.peak_open_connections, self.open_connections)
         return _Connection(reader, writer)
@@ -271,6 +278,17 @@ class AsyncRemoteGraphService:
             finally:
                 self.in_flight -= 1
         raise ServerError("unreachable")  # pragma: no cover
+
+    async def request(self, method: str, path: str,
+                      body: dict | None = None) -> tuple[int, dict]:
+        """One raw request/response exchange over the pool.
+
+        The transport hook the process shard backend drives its workers
+        through (queries *and* admin endpoints); same retry semantics as
+        every other call — stale keep-alive connections are retried once,
+        timeouts always propagate.
+        """
+        return await self._request(method, path, body)
 
     # ------------------------------------------------------------------ #
     # protocol negotiation

@@ -48,6 +48,7 @@ DETAIL_ATTRIBUTES = (
     "queue_depth",
     "shard",
     "estimated_cost_seconds",
+    "respawns",
 )
 
 #: The taxonomy, ordered most-specific-first: :func:`rule_for` returns the
@@ -55,6 +56,7 @@ DETAIL_ATTRIBUTES = (
 ERROR_TABLE: tuple[ErrorRule, ...] = (
     # serving: transient verdicts a client is expected to handle
     ErrorRule(_errors.AdmissionRejectedError, "admission-rejected", 429, retryable=True),
+    ErrorRule(_errors.ShardWorkerError, "shard-worker", 503, retryable=True),
     ErrorRule(_errors.ServerClosedError, "server-closed", 503, retryable=True),
     ErrorRule(_errors.RecordingStateError, "recording-state", 409),
     ErrorRule(_errors.ProtocolError, "protocol", 400),

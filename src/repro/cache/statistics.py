@@ -71,6 +71,39 @@ class QueryRecord:
     #: Wall-clock seconds per pipeline stage (filter/probe/prune/verify/...).
     stage_seconds: dict[str, float] = field(default_factory=dict)
 
+    @classmethod
+    def from_report(cls, report) -> "QueryRecord":
+        """The record for one :class:`~repro.runtime.report.QueryReport`.
+
+        Shared by the scatter-gather merge and the process shard proxies, so
+        every execution backend books identical per-query accounting.
+        """
+        query = report.query
+        return cls(
+            query_id=query.query_id,
+            query_type=query.query_type,
+            num_vertices=query.num_vertices,
+            num_edges=query.num_edges,
+            exact_hit=report.exact_hit_entry is not None,
+            sub_hits=len(report.sub_hit_entries),
+            super_hits=len(report.super_hit_entries),
+            cache_population=report.cache_population,
+            method_candidates=len(report.method_candidates),
+            guaranteed_answers=len(report.guaranteed_answers),
+            guaranteed_non_answers=len(report.guaranteed_non_answers),
+            verified_candidates=len(report.verified_candidates),
+            answer_size=len(report.answer),
+            dataset_tests=report.dataset_tests,
+            probe_tests=report.probe_tests,
+            filter_seconds=report.filter_seconds,
+            probe_seconds=report.probe_seconds,
+            verify_seconds=report.verify_seconds,
+            total_seconds=report.total_seconds,
+            baseline_tests=report.baseline_tests,
+            baseline_seconds=report.baseline_seconds,
+            stage_seconds=dict(report.stage_seconds),
+        )
+
     @property
     def tests_saved(self) -> int:
         """Dataset sub-iso tests avoided for this query."""

@@ -47,7 +47,12 @@ from repro.graph import (
 from repro.graph.operations import random_connected_subgraph
 from repro.methods.registry import available_methods
 from repro.runtime import GCConfig
-from repro.runtime.config import ADMISSION_MODES, SCATTER_MODES, SHARD_POLICIES
+from repro.runtime.config import (
+    ADMISSION_MODES,
+    SCATTER_MODES,
+    SHARD_BACKENDS,
+    SHARD_POLICIES,
+)
 from repro.server import QueryServer
 from repro.sharding import make_system
 from repro.workload import (
@@ -97,6 +102,11 @@ def build_parser() -> argparse.ArgumentParser:
                              "(1 = single system)")
     common.add_argument("--shard-policy", default="hash", choices=list(SHARD_POLICIES),
                         help="how graphs are routed to shards")
+    common.add_argument("--shard-backend", default="thread",
+                        choices=list(SHARD_BACKENDS),
+                        help="shard hosting: 'thread' runs shards in-process, "
+                             "'process' spawns one worker process per shard "
+                             "(breaks the GIL for CPU-bound verification)")
     common.add_argument("--scatter", default="full", choices=list(SCATTER_MODES),
                         help="scatter strategy: 'full' sends every query to every "
                              "shard; 'short-circuit' skips shards whose feature "
@@ -192,6 +202,7 @@ def _config_from_args(args, policy: str | None = None) -> GCConfig:
         async_maintenance=getattr(args, "async_maintenance", False),
         num_shards=getattr(args, "shards", 1),
         shard_policy=getattr(args, "shard_policy", "hash"),
+        shard_backend=getattr(args, "shard_backend", "thread"),
         scatter_mode=getattr(args, "scatter", "full"),
         admission_mode=getattr(args, "admission_mode", "queue-depth"),
     )
@@ -293,7 +304,8 @@ def cmd_serve(args) -> int:
     )
     server.start()
     shard_note = (
-        f", shards={args.shards}/{args.shard_policy}" if args.shards > 1 else ""
+        f", shards={args.shards}/{args.shard_policy}"
+        f"/{args.shard_backend}" if args.shards > 1 else ""
     )
     print(f"serving {len(dataset)} graphs at {server.address} "
           f"(batch={args.batch_size}, queue={args.queue_depth}{shard_note})")

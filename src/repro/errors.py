@@ -136,6 +136,24 @@ class AdmissionRejectedError(ServerError):
         self.estimated_cost_seconds = estimated_cost_seconds
 
 
+class ShardWorkerError(ServerError):
+    """A shard worker process died (or went unreachable) and stayed down.
+
+    Raised by the process shard backend once a worker cannot be reached *and*
+    the bounded respawn budget is exhausted (or the replacement failed to
+    start).  Retryable on the wire: a fresh request may land after an
+    operator restores capacity, and the answers already returned are
+    unaffected — a respawned worker re-executes only the failed queries.
+    """
+
+    def __init__(self, shard: int, reason: str, respawns: int = 0) -> None:
+        super().__init__(
+            f"shard {shard} worker process failed ({respawns} respawn(s) used): {reason}"
+        )
+        self.shard = shard
+        self.respawns = respawns
+
+
 class ServerClosedError(ServerError):
     """A request arrived while the server/batcher was draining or stopped."""
 

@@ -23,6 +23,13 @@ SHARD_POLICIES = ("hash", "round-robin", "size-balanced")
 #: contribute answers (NeedleTail-style density/locality pruning).
 SCATTER_MODES = ("full", "short-circuit")
 
+#: How a sharded system hosts its shards (:mod:`repro.sharding.system`):
+#: ``thread`` keeps every shard in-process (one scatter-pool slot each);
+#: ``process`` spawns one OS worker process per shard, speaking the v2
+#: envelope protocol over loopback sockets, so CPU-bound verification
+#: escapes the GIL and scales with cores.
+SHARD_BACKENDS = ("thread", "process")
+
 #: How the request batcher admits queries (:mod:`repro.server.batcher`):
 #: ``queue-depth`` rejects on the bounded queue alone; ``cost-based``
 #: additionally estimates per-shard batch cost (planned candidate count ×
@@ -93,6 +100,14 @@ class GCConfig:
     #: Serving admission strategy: ``queue-depth`` (bounded queue only) or
     #: ``cost-based`` (per-shard estimated batch cost backpressure).
     admission_mode: str = "queue-depth"
+    #: Shard hosting: ``thread`` (in-process shards on the scatter pool) or
+    #: ``process`` (one spawned worker process per shard, v2 envelopes over
+    #: loopback — CPU-bound verification scales past the GIL).
+    shard_backend: str = "thread"
+    #: How many times a crashed shard worker process is replaced before the
+    #: coordinator surfaces a :class:`~repro.errors.ShardWorkerError`
+    #: (process backend only; 0 = never respawn).
+    shard_respawn_limit: int = 1
 
     # --- accounting ------------------------------------------------------
     #: When True, each query is *also* executed by plain Method M so that the
@@ -142,6 +157,13 @@ class GCConfig:
                 f"unknown admission_mode {self.admission_mode!r}; "
                 f"available: {', '.join(ADMISSION_MODES)}"
             )
+        if self.shard_backend not in SHARD_BACKENDS:
+            raise ConfigurationError(
+                f"unknown shard_backend {self.shard_backend!r}; "
+                f"available: {', '.join(SHARD_BACKENDS)}"
+            )
+        if self.shard_respawn_limit < 0:
+            raise ConfigurationError("shard_respawn_limit must be non-negative")
 
     def to_dict(self) -> dict:
         """Serialise the configuration (for reports and experiment logs)."""

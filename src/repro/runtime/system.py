@@ -174,6 +174,16 @@ class GraphCacheSystem:
         if reset_statistics:
             self.statistics.reset()
 
+    def flush_window(self) -> None:
+        """Promote the admission window into the cache proper.
+
+        No-op when caching is disabled.  This is the shard-level hook the
+        sharded warm-up path calls uniformly across execution backends (a
+        process shard proxy forwards it to its worker).
+        """
+        if self.cache is not None:
+            self.cache.flush_window()
+
     def estimate_shard_costs(self, query, query_type: QueryType | str = QueryType.SUBGRAPH) -> dict[int, float]:
         """Estimated verification seconds for one query, as pseudo-shard 0.
 

@@ -295,6 +295,9 @@ def _make_handler(server: QueryServer) -> type[BaseHTTPRequestHandler]:
     class Handler(BaseHTTPRequestHandler):
         protocol_version = "HTTP/1.1"  # keep-alive: load generators reuse connections
         server_version = f"GraphCacheServer/{__version__}"
+        # headers and body flush as separate small writes; without NODELAY,
+        # Nagle + delayed ACK can stall responses ~40ms even on loopback
+        disable_nagle_algorithm = True
 
         def do_POST(self) -> None:
             # always consume the body: keep-alive framing breaks otherwise

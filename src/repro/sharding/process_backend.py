@@ -1,0 +1,538 @@
+"""ProcessShardBackend: one spawned worker process per shard, v2 envelopes.
+
+The GIL makes ``shard_backend="thread"`` a single-core deployment for
+CPU-bound verification: the C1b benchmark shows 4 threads running *slower*
+than 1.  This backend keeps the whole scatter-gather architecture — planner,
+merge, cost-based admission, ``/metrics`` fan-in, snapshots — and swaps only
+the shard hosting: each shard becomes a spawned OS process running
+:func:`repro.sharding.worker.worker_main` (its own
+:class:`~repro.runtime.system.GraphCacheSystem`, its own interpreter, its
+own core), reachable over loopback HTTP speaking the existing v2 envelope
+protocol.  PR 5's protocol work is what makes this cheap: the transport is
+the stock :class:`~repro.api.aio.AsyncRemoteGraphService` pool, pinned to
+v2, multiplexed on one coordinator-owned event-loop thread.
+
+:class:`ProcessShardClient` implements the same shard surface
+:class:`~repro.sharding.system.ShardedGraphCacheSystem` already scatters to
+(``run_query``/``run_queries_concurrent``/``statistics``/``dataset``/
+snapshots/memory accessors), so the sharded system treats thread shards and
+process shards identically.  Each proxy keeps a coordinator-side
+:class:`StatisticsManager` mirror fed from the full per-query reports the
+worker returns, which is what keeps ``attach_shard`` fan-in and cost-based
+admission (``observed_test_cost``/``mean_dataset_tests``) working unchanged.
+
+Worker lifecycle: spawn + ready-handshake at construction (startup errors
+travel back over the pipe), graceful drain (``/admin/shutdown`` → join →
+terminate) at close, and crash recovery in between — a request hitting a
+dead worker triggers a bounded respawn (``GCConfig.shard_respawn_limit``)
+and re-issues *only the failed queries* against the cold replacement (sound:
+the cache only ever prunes guaranteed candidates, so answers are invariant
+under cache state).  A worker that stays down surfaces as a typed,
+retryable :class:`~repro.errors.ShardWorkerError` (wire code
+``shard-worker``, HTTP 503).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import threading
+from collections.abc import Callable, Sequence
+
+from repro.api.aio import AsyncRemoteGraphService
+from repro.api.envelopes import (
+    ErrorEnvelope,
+    QueryRequest,
+    parse_response,
+    wire_result,
+)
+from repro.cache.statistics import QueryRecord, StatisticsManager
+from repro.errors import (
+    ConfigurationError,
+    ProtocolError,
+    ServerError,
+    ShardWorkerError,
+)
+from repro.graph.graph import Graph
+from repro.methods.base import MethodM
+from repro.query_model import Query, QueryType
+from repro.runtime.config import GCConfig
+from repro.runtime.report import QueryReport
+from repro.sharding.worker import report_from_wire, worker_main
+
+#: Seconds a spawned worker gets to build its index and report its port.
+DEFAULT_STARTUP_TIMEOUT = 120.0
+
+#: Per-request timeout against a worker (generous: a shard query is the
+#: same work an in-process shard would do, plus loopback framing).
+DEFAULT_REQUEST_TIMEOUT = 300.0
+
+
+class _WorkerHandle:
+    """One live worker: its process, its port, its pinned-v2 client pool."""
+
+    __slots__ = ("index", "process", "port", "service", "describe")
+
+    def __init__(self, index: int, process, port: int,
+                 service: AsyncRemoteGraphService, describe: dict) -> None:
+        self.index = index
+        self.process = process
+        self.port = port
+        self.service = service
+        self.describe = describe
+
+
+class _RemoteMethodInfo:
+    """Read-only stand-in for a worker-resident Method M (name + describe)."""
+
+    def __init__(self, describe_payload: dict) -> None:
+        self.name = str(describe_payload.get("method_name", "unknown"))
+        self._description = dict(describe_payload.get("method") or {})
+
+    def describe(self) -> dict:
+        return dict(self._description)
+
+
+class ProcessShardBackend:
+    """Spawns, supervises and speaks to one worker process per shard."""
+
+    def __init__(
+        self,
+        partitions: Sequence[Sequence[Graph]],
+        shard_config: GCConfig,
+        respawn_limit: int = 1,
+        method_factory: Callable[[], MethodM] | None = None,
+        startup_timeout: float = DEFAULT_STARTUP_TIMEOUT,
+        request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
+    ) -> None:
+        if method_factory is not None and isinstance(method_factory, MethodM):
+            raise ConfigurationError(
+                "the process shard backend needs a method *factory*; "
+                "pass a zero-argument callable, not a built MethodM"
+            )
+        self._ctx = multiprocessing.get_context("spawn")
+        self._dataset_payloads = [
+            [graph.to_dict() for graph in partition] for partition in partitions
+        ]
+        self._config_payload = shard_config.to_dict()
+        self._method_factory = method_factory
+        self._startup_timeout = startup_timeout
+        self._request_timeout = request_timeout
+        self._respawn_limit = respawn_limit
+        self._respawns_left = [respawn_limit] * len(self._dataset_payloads)
+        #: Workers successfully replaced after a crash (asserted by tests).
+        self.respawns_performed = 0
+        self._lock = threading.Lock()
+        self._closed = False
+
+        #: One event loop on a dedicated thread carries every worker's
+        #: connection pool; proxy threads submit coroutines onto it.
+        self._loop = asyncio.new_event_loop()
+        self._loop_thread = threading.Thread(
+            target=self._loop.run_forever, name="gc-procshard-loop", daemon=True
+        )
+        self._loop_thread.start()
+
+        self._handles: list[_WorkerHandle] = []
+        try:
+            # start every worker first, then collect handshakes: startup
+            # (imports + index build) overlaps across workers
+            started = [self._start_process(index)
+                       for index in range(len(self._dataset_payloads))]
+            for index, (process, ready) in enumerate(started):
+                port, describe = self._await_ready(index, process, ready)
+                self._handles.append(self._make_handle(index, process, port, describe))
+        except Exception:
+            self._teardown(started=self._handles,
+                           raw=started[len(self._handles):] if started else [])
+            raise
+
+        self.clients = [
+            ProcessShardClient(self, index, partition, shard_config)
+            for index, partition in enumerate(partitions)
+        ]
+
+    # ------------------------------------------------------------------ #
+    # worker lifecycle
+    # ------------------------------------------------------------------ #
+    def _start_process(self, index: int):
+        ready_recv, ready_send = self._ctx.Pipe(duplex=False)
+        process = self._ctx.Process(
+            target=worker_main,
+            args=(ready_send, self._dataset_payloads[index],
+                  self._config_payload, index, self._method_factory),
+            name=f"gc-shard-worker-{index}",
+            daemon=True,
+        )
+        try:
+            process.start()
+        except Exception as exc:
+            ready_recv.close()
+            raise ConfigurationError(
+                f"failed to spawn shard {index} worker: {exc} — a process "
+                "backend ships its method factory to the child by pickling, "
+                "so it must be a module-level callable (or None for the "
+                "config-driven default)"
+            ) from exc
+        finally:
+            ready_send.close()  # the child holds the write end now
+        return process, ready_recv
+
+    def _await_ready(self, index: int, process, ready) -> tuple[int, dict]:
+        try:
+            if not ready.poll(self._startup_timeout):
+                raise ShardWorkerError(
+                    index, f"startup handshake timed out after {self._startup_timeout}s"
+                )
+            try:
+                payload = ready.recv()
+            except (EOFError, OSError) as exc:
+                raise ShardWorkerError(
+                    index, f"worker died during startup ({type(exc).__name__})"
+                ) from exc
+        finally:
+            ready.close()
+        if not isinstance(payload, dict) or "port" not in payload:
+            reason = payload.get("error") if isinstance(payload, dict) else repr(payload)
+            raise ShardWorkerError(index, f"worker failed to start: {reason}")
+        return int(payload["port"]), dict(payload.get("describe") or {})
+
+    def _make_handle(self, index: int, process, port: int, describe: dict) -> _WorkerHandle:
+        service = AsyncRemoteGraphService(
+            "127.0.0.1", port,
+            timeout=self._request_timeout,
+            max_connections=64,
+            protocol_version=2,  # workers are always v2-capable: skip /protocol
+        )
+        return _WorkerHandle(index, process, port, service, describe)
+
+    def describe_payload(self, index: int) -> dict:
+        """The handshake describe payload of shard ``index``'s worker."""
+        return dict(self._handles[index].describe)
+
+    # ------------------------------------------------------------------ #
+    # transport (proxy threads → event loop → workers)
+    # ------------------------------------------------------------------ #
+    def _submit(self, coroutine, timeout: float | None = None):
+        future = asyncio.run_coroutine_threadsafe(coroutine, self._loop)
+        return future.result(timeout=timeout)
+
+    def call(self, index: int, method: str, path: str,
+             body: dict | None = None) -> tuple[int, dict]:
+        """One request to shard ``index``'s worker, with crash recovery.
+
+        A transport failure against a *dead* worker spends respawn budget,
+        brings up a cold replacement and retries the request there (all the
+        endpoints driven through here are answer-safe to re-execute); a
+        transport failure against a live worker propagates — the async pool
+        already retried stale keep-alive connections once, and timeouts must
+        never re-run a query that may still be executing.
+        """
+        attempts = 0
+        while True:
+            handle = self._handle(index)
+            try:
+                return self._submit(handle.service.request(method, path, body))
+            except TimeoutError as exc:
+                if handle.process.is_alive():
+                    raise
+                self._recover(index, handle, "worker died mid-request", cause=exc)
+            except (OSError, EOFError) as exc:
+                self._recover(index, handle, f"{type(exc).__name__}: {exc}", cause=exc)
+            attempts += 1
+            if attempts > self._respawn_limit + 1:  # pragma: no cover - safety net
+                raise ShardWorkerError(index, "worker kept failing after respawn",
+                                       self.respawns_performed)
+
+    def admin(self, index: int, path: str, body: dict | None = None) -> dict:
+        """POST an admin endpoint and insist on a 200 payload."""
+        status, payload = self.call(index, "POST", path, body or {})
+        if status != 200:
+            raise ServerError(f"shard {index} {path} replied {status}: {payload}")
+        return payload
+
+    def describe(self, index: int) -> dict:
+        """A *live* describe of shard ``index``'s worker (memory, cache)."""
+        status, payload = self.call(index, "GET", "/describe")
+        if status != 200:
+            raise ServerError(f"shard {index} /describe replied {status}: {payload}")
+        return payload
+
+    def query(self, index: int, body: dict) -> tuple[int, dict]:
+        """POST one query envelope to shard ``index``."""
+        return self.call(index, "POST", "/query", body)
+
+    def query_batch(self, index: int, bodies: list[dict],
+                    concurrency: int) -> list[tuple[int, dict]]:
+        """POST a batch concurrently; outcomes return in submission order.
+
+        On a worker crash mid-batch, only the failed positions are re-issued
+        against the respawned worker — completed answers are kept exactly
+        once, so a crash can neither drop nor duplicate an answer.
+        """
+        results: list[tuple[int, dict] | None] = [None] * len(bodies)
+        pending = list(range(len(bodies)))
+        attempts = 0
+        while pending:
+            handle = self._handle(index)
+            outcomes = self._submit(
+                self._gather(handle.service, [bodies[i] for i in pending], concurrency)
+            )
+            failed: list[int] = []
+            first_failure: BaseException | None = None
+            for position, outcome in zip(pending, outcomes):
+                if isinstance(outcome, BaseException):
+                    # NB: TimeoutError subclasses OSError — classify it first
+                    if isinstance(outcome, TimeoutError) and handle.process.is_alive():
+                        raise outcome
+                    if isinstance(outcome, (OSError, EOFError)):
+                        failed.append(position)
+                        if first_failure is None:
+                            first_failure = outcome
+                    else:
+                        raise outcome
+                else:
+                    results[position] = outcome
+            if not failed:
+                break
+            self._recover(
+                index, handle,
+                f"worker lost {len(failed)} in-flight queries "
+                f"({type(first_failure).__name__})",
+                cause=first_failure,
+            )
+            pending = failed
+            attempts += 1
+            if attempts > self._respawn_limit + 1:  # pragma: no cover - safety net
+                raise ShardWorkerError(index, "worker kept failing after respawn",
+                                       self.respawns_performed)
+        return results  # type: ignore[return-value]
+
+    @staticmethod
+    async def _gather(service: AsyncRemoteGraphService, bodies: list[dict],
+                      concurrency: int):
+        gate = asyncio.Semaphore(max(1, concurrency))
+
+        async def one(body: dict):
+            async with gate:
+                return await service.request("POST", "/query", body)
+
+        return await asyncio.gather(*(one(body) for body in bodies),
+                                    return_exceptions=True)
+
+    # ------------------------------------------------------------------ #
+    # crash recovery
+    # ------------------------------------------------------------------ #
+    def _handle(self, index: int) -> _WorkerHandle:
+        if self._closed:
+            raise ServerError("process shard backend is closed")
+        with self._lock:
+            return self._handles[index]
+
+    def _recover(self, index: int, failed_handle: _WorkerHandle,
+                 reason: str, cause: BaseException | None = None) -> None:
+        """Replace a dead worker under budget; generation-safe across threads.
+
+        Many in-flight requests can fail together when one worker dies; only
+        the first caller spends budget and respawns, the rest observe the
+        swapped handle and simply retry.  A transport error against a worker
+        that is demonstrably alive is not a crash — it propagates.
+        """
+        with self._lock:
+            current = self._handles[index]
+            if current is not failed_handle:
+                return  # a sibling thread already replaced this worker
+            process = failed_handle.process
+            if process.is_alive():
+                process.join(timeout=0.5)  # a dying worker needs a beat to reap
+            if process.is_alive():
+                raise cause if cause is not None else ShardWorkerError(
+                    index, reason, self.respawns_performed)
+            if self._respawns_left[index] <= 0:
+                raise ShardWorkerError(
+                    index, f"{reason}; respawn budget exhausted",
+                    self.respawns_performed,
+                ) from cause
+            self._respawns_left[index] -= 1
+            self._close_service(failed_handle.service)
+            replacement, ready = self._start_process(index)
+            try:
+                port, describe = self._await_ready(index, replacement, ready)
+            except ShardWorkerError:
+                replacement.terminate()
+                raise
+            self._handles[index] = self._make_handle(index, replacement, port, describe)
+            self.respawns_performed += 1
+
+    # ------------------------------------------------------------------ #
+    # shutdown
+    # ------------------------------------------------------------------ #
+    def _close_service(self, service: AsyncRemoteGraphService) -> None:
+        try:
+            self._submit(service.aclose(), timeout=5.0)
+        except Exception:  # pragma: no cover - best-effort socket teardown
+            pass
+
+    def _teardown(self, started: list[_WorkerHandle], raw: list) -> None:
+        """Startup-failure cleanup: kill everything already running."""
+        for handle in started:
+            self._close_service(handle.service)
+            handle.process.terminate()
+        for process, ready in raw:
+            try:
+                ready.close()
+            except Exception:
+                pass
+            process.terminate()
+        for handle in started:
+            handle.process.join(timeout=2.0)
+        for process, _ in raw:
+            process.join(timeout=2.0)
+        self._stop_loop()
+
+    def _stop_loop(self) -> None:
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._loop_thread.join(timeout=5.0)
+        self._loop.close()
+
+    def close(self) -> None:
+        """Drain and join every worker: shutdown → join → terminate."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            handles = list(self._handles)
+        for handle in handles:
+            try:
+                self._submit(
+                    handle.service.request("POST", "/admin/shutdown", {}),
+                    timeout=5.0,
+                )
+            except Exception:
+                pass  # a dead worker cannot drain; terminate below
+        for handle in handles:
+            handle.process.join(timeout=5.0)
+            if handle.process.is_alive():
+                handle.process.terminate()
+                handle.process.join(timeout=2.0)
+            self._close_service(handle.service)
+        self._stop_loop()
+
+
+class ProcessShardClient:
+    """One shard's proxy: the GraphCacheSystem shard surface over a worker.
+
+    ``cache`` is ``None`` (the real cache lives in the worker; resident-key
+    exact routing simply never primes, which is sound — summaries still
+    prune on partition features).  ``statistics`` is a coordinator-side
+    mirror recording the full per-query reports the worker returns, so
+    ``/metrics`` fan-in and cost-based admission read genuine numbers.
+    """
+
+    cache = None
+
+    def __init__(self, backend: ProcessShardBackend, index: int,
+                 partition: Sequence[Graph], config: GCConfig) -> None:
+        self._backend = backend
+        self.index = index
+        self.dataset = list(partition)
+        self.config = config
+        self.statistics = StatisticsManager()
+        self.method = _RemoteMethodInfo(backend.describe_payload(index))
+
+    # -- query execution ------------------------------------------------ #
+    @staticmethod
+    def _as_query(query: Query | Graph, query_type: QueryType | str) -> Query:
+        if isinstance(query, Query):
+            return query
+        return Query(graph=query, query_type=QueryType.parse(query_type))
+
+    def _wire(self, query: Query) -> dict:
+        # the live ScatterPlan stashed by cost-based admission is a
+        # coordinator-side object; everything else in metadata is JSON
+        metadata = {key: value for key, value in query.metadata.items()
+                    if key != "scatter_plan"}
+        request = QueryRequest(graph=query.graph, query_type=query.query_type,
+                               metadata=metadata, request_id=query.query_id)
+        return request.to_wire(2)
+
+    def _report_from(self, query: Query, status: int, payload: dict) -> QueryReport:
+        outcome = parse_response(payload, http_status=status)
+        if isinstance(outcome, ErrorEnvelope):
+            raise outcome.to_exception()
+        section = wire_result(payload).get("report")
+        if not isinstance(section, dict):
+            raise ProtocolError(
+                f"shard {self.index} worker response carries no 'report' section"
+            )
+        return report_from_wire(query, section)
+
+    def run_query(self, query: Query | Graph,
+                  query_type: QueryType | str = QueryType.SUBGRAPH) -> QueryReport:
+        query = self._as_query(query, query_type)
+        status, payload = self._backend.query(self.index, self._wire(query))
+        report = self._report_from(query, status, payload)
+        self.statistics.record(QueryRecord.from_report(report))
+        return report
+
+    def run_queries(self, queries, query_type: QueryType | str = QueryType.SUBGRAPH):
+        return [self.run_query(query, query_type) for query in queries]
+
+    def run_queries_concurrent(self, queries,
+                               query_type: QueryType | str = QueryType.SUBGRAPH,
+                               max_workers: int | None = None):
+        query_list = [self._as_query(query, query_type) for query in queries]
+        if not query_list:
+            return []
+        workers = self.config.max_workers if max_workers is None else max_workers
+        if workers < 1:
+            raise ConfigurationError("max_workers must be at least 1")
+        outcomes = self._backend.query_batch(
+            self.index, [self._wire(query) for query in query_list], workers
+        )
+        reports = [
+            self._report_from(query, status, payload)
+            for query, (status, payload) in zip(query_list, outcomes)
+        ]
+        # mirror records in submission order, matching the thread backend's
+        # post-batch statistics reorder
+        for report in reports:
+            self.statistics.record(QueryRecord.from_report(report))
+        return reports
+
+    # -- shard lifecycle hooks ------------------------------------------ #
+    def flush_window(self) -> None:
+        self._backend.admin(self.index, "/admin/flush-window")
+
+    def reset_remote_statistics(self) -> None:
+        self._backend.admin(self.index, "/admin/reset-statistics")
+
+    def save_snapshot(self, path) -> int:
+        payload = self._backend.admin(self.index, "/admin/snapshot/save",
+                                      {"path": str(path)})
+        return int(payload.get("entries", 0))
+
+    def restore_snapshot(self, path) -> int:
+        payload = self._backend.admin(self.index, "/admin/snapshot/restore",
+                                      {"path": str(path)})
+        return int(payload.get("entries", 0))
+
+    # -- observability --------------------------------------------------- #
+    def remote_describe(self) -> dict:
+        """A live ``/describe`` of the worker (cache population, memory)."""
+        return self._backend.describe(self.index)
+
+    def cache_memory_bytes(self) -> int:
+        try:
+            return int(self.remote_describe().get("cache_memory_bytes", 0))
+        except Exception:  # metrics must not mask a serving-path failure
+            return 0
+
+    def index_memory_bytes(self) -> int:
+        try:
+            return int(self.remote_describe().get("index_memory_bytes", 0))
+        except Exception:
+            return 0
+
+    def close(self) -> None:
+        """Worker teardown is backend-wide; see ProcessShardBackend.close."""

@@ -84,18 +84,35 @@ class ShardedGraphCacheSystem:
         )
         shard_payload = self.config.to_dict()
         shard_payload["num_shards"] = 1  # each shard is itself unsharded
+        shard_payload["shard_backend"] = "thread"  # workers host plain systems
+        #: The worker supervisor when ``shard_backend == "process"`` — the
+        #: shard list then holds :class:`ProcessShardClient` proxies, which
+        #: implement the same surface this class scatters to.
+        self._process_backend: "ProcessShardBackend | None" = None
         self.shards: list[GraphCacheSystem] = []
-        try:
-            for partition in self.router.partitions():
-                method = method_factory() if method_factory is not None else None
-                self.shards.append(
-                    GraphCacheSystem(partition, GCConfig.from_dict(shard_payload),
-                                     method=method)
-                )
-        except Exception:
-            for shard in self.shards:
-                shard.close()
-            raise
+        if self.config.shard_backend == "process":
+            from repro.sharding.process_backend import ProcessShardBackend
+
+            backend = ProcessShardBackend(
+                self.router.partitions(),
+                GCConfig.from_dict(shard_payload),
+                respawn_limit=self.config.shard_respawn_limit,
+                method_factory=method_factory,
+            )
+            self._process_backend = backend
+            self.shards = list(backend.clients)  # type: ignore[arg-type]
+        else:
+            try:
+                for partition in self.router.partitions():
+                    method = method_factory() if method_factory is not None else None
+                    self.shards.append(
+                        GraphCacheSystem(partition, GCConfig.from_dict(shard_payload),
+                                         method=method)
+                    )
+            except Exception:
+                for shard in self.shards:
+                    shard.close()
+                raise
         #: Merged per-query statistics; per-shard managers ride along so
         #: ``to_dict()`` exposes per-shard aggregation keys.
         self.statistics = StatisticsManager()
@@ -119,7 +136,10 @@ class ShardedGraphCacheSystem:
         #: only flip a dirty bit (cheap enough for the synchronous admission
         #: path); the real refresh runs on the cache maintenance worker when
         #: one exists, else lazily at the next plan.
-        self._resident_dirty = [True] * self.num_shards
+        # process shards keep their caches worker-side (shard.cache is None
+        # coordinator-side), so they never publish resident keys: start them
+        # clean or the lazy sync would re-walk them before every plan
+        self._resident_dirty = [shard.cache is not None for shard in self.shards]
         self._resident_lock = threading.Lock()
         for index, shard in enumerate(self.shards):
             if shard.cache is not None:
@@ -160,6 +180,8 @@ class ShardedGraphCacheSystem:
         self._pool.shutdown(wait=True)
         for shard in self.shards:
             shard.close()
+        if self._process_backend is not None:
+            self._process_backend.close()
 
     def __enter__(self) -> "ShardedGraphCacheSystem":
         return self
@@ -385,12 +407,17 @@ class ShardedGraphCacheSystem:
         with the default both are cleared.
         """
         self.run_queries(list(queries), query_type)
-        for cache in self.all_caches():
-            cache.flush_window()
+        for shard in self.shards:
+            # uniform across backends: an in-process shard flushes its own
+            # cache window, a process proxy forwards to its worker
+            shard.flush_window()
         if reset_statistics:
             self.statistics.reset()
             for shard in self.shards:
                 shard.statistics.reset()
+                reset_remote = getattr(shard, "reset_remote_statistics", None)
+                if reset_remote is not None:
+                    reset_remote()
 
     def _scatter_one(self, query: Query, query_type: QueryType | str) -> QueryReport:
         plan = self.plan_query(query)
@@ -467,31 +494,7 @@ class ShardedGraphCacheSystem:
 
     @staticmethod
     def _record_from(report: QueryReport) -> QueryRecord:
-        query = report.query
-        return QueryRecord(
-            query_id=query.query_id,
-            query_type=query.query_type,
-            num_vertices=query.num_vertices,
-            num_edges=query.num_edges,
-            exact_hit=report.exact_hit_entry is not None,
-            sub_hits=len(report.sub_hit_entries),
-            super_hits=len(report.super_hit_entries),
-            cache_population=report.cache_population,
-            method_candidates=len(report.method_candidates),
-            guaranteed_answers=len(report.guaranteed_answers),
-            guaranteed_non_answers=len(report.guaranteed_non_answers),
-            verified_candidates=len(report.verified_candidates),
-            answer_size=len(report.answer),
-            dataset_tests=report.dataset_tests,
-            probe_tests=report.probe_tests,
-            filter_seconds=report.filter_seconds,
-            probe_seconds=report.probe_seconds,
-            verify_seconds=report.verify_seconds,
-            total_seconds=report.total_seconds,
-            baseline_tests=report.baseline_tests,
-            baseline_seconds=report.baseline_seconds,
-            stage_seconds=dict(report.stage_seconds),
-        )
+        return QueryRecord.from_report(report)
 
     # ------------------------------------------------------------------ #
     # snapshots (fan out to per-shard files + a manifest)
@@ -508,12 +511,14 @@ class ShardedGraphCacheSystem:
         base = Path(path)
         total = 0
         shard_files: list[str] = []
-        for index, shard in enumerate(self.shards):
-            if shard.cache is None:
-                continue
-            shard_path = shard_snapshot_path(base, index)
-            total += shard.save_snapshot(shard_path)
-            shard_files.append(shard_path.name)
+        # gate on configuration, not `shard.cache`: a process shard's cache
+        # lives in its worker (coordinator-side cache is None) but snapshots
+        # fine — the worker writes the shard file itself
+        if self.config.cache_enabled:
+            for index, shard in enumerate(self.shards):
+                shard_path = shard_snapshot_path(base, index)
+                total += shard.save_snapshot(shard_path)
+                shard_files.append(shard_path.name)
         manifest = {
             "format_version": SNAPSHOT_MANIFEST_VERSION,
             "sharded": True,
@@ -598,6 +603,15 @@ class ShardedGraphCacheSystem:
             }
             if shard.cache is not None:
                 row["cache"] = shard.cache.describe()
+            else:
+                remote_describe = getattr(shard, "remote_describe", None)
+                if remote_describe is not None:
+                    try:
+                        remote = remote_describe()
+                    except Exception:
+                        remote = None  # metrics stay up while a worker respawns
+                    if isinstance(remote, dict) and remote.get("cache") is not None:
+                        row["cache"] = remote["cache"]
             rows.append(row)
         return rows
 
@@ -626,13 +640,14 @@ def make_system(
     """
     config = config or GCConfig()
     config.validate()
-    if config.num_shards <= 1:
+    if config.num_shards <= 1 and config.shard_backend == "thread":
         if method is not None and not isinstance(method, MethodM):
             method = method()
         return GraphCacheSystem(dataset, config, method=method)
     if isinstance(method, MethodM):
         raise ConfigurationError(
-            "num_shards > 1 requires a method factory (zero-argument callable), "
-            "not a built MethodM instance: every shard indexes its own partition"
+            "a sharded deployment requires a method factory (zero-argument "
+            "callable), not a built MethodM instance: every shard indexes its "
+            "own partition"
         )
     return ShardedGraphCacheSystem(dataset, config, method_factory=method)

@@ -1,0 +1,285 @@
+"""Shard worker process: one unsharded GraphCacheSystem behind v2 envelopes.
+
+The process shard backend spawns one of these per shard
+(``multiprocessing`` *spawn* context — no inherited locks or sockets, the
+worker rebuilds everything from serialised payloads).  Each worker hosts its
+own :class:`~repro.runtime.system.GraphCacheSystem` over its partition —
+its own Method M index, its own thread-safe cache, its own admission window
+— and fronts it with a minimal loopback HTTP app speaking **the same v2
+envelope protocol** as the public query server (``GET /protocol``
+negotiation, :func:`~repro.api.envelopes.parse_request`, taxonomy-classified
+:class:`~repro.api.envelopes.ErrorEnvelope` on failure).  The coordinator
+therefore needs no new wire format: it reuses the async client pool as
+transport.
+
+The one addition over the public surface: a shard worker's ``POST /query``
+success payload carries the *full* :class:`~repro.runtime.report.QueryReport`
+(journey sets included) under ``result["report"]``, because the coordinator
+must gather per-shard reports to run the scatter-gather merge — the public
+:class:`QueryResponse` only summarises them.  The section is additive, so
+the payload still parses as a plain v2 response.
+
+``/admin/*`` endpoints cover the shard lifecycle the in-process backend gets
+for free: window flush (warm-up), statistics reset, snapshot save/restore
+(worker-side file I/O — coordinator and workers share a filesystem), and
+graceful shutdown.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro import __version__
+from repro.api.envelopes import (
+    PROTOCOL_VERSION,
+    SUPPORTED_VERSIONS,
+    ErrorEnvelope,
+    MetricsSnapshot,
+    QueryResponse,
+    parse_request,
+)
+from repro.cache.statistics import json_safe
+from repro.query_model import Query
+from repro.runtime.config import GCConfig
+from repro.runtime.report import QueryReport
+from repro.runtime.system import GraphCacheSystem
+
+
+# ---------------------------------------------------------------------- #
+# full-report wire serialisation (the additive ``result["report"]`` section)
+# ---------------------------------------------------------------------- #
+def report_to_wire(report: QueryReport) -> dict:
+    """Serialise every :class:`QueryReport` field the merge consumes.
+
+    Journey sets travel as sorted lists (graph ids are ints or strings —
+    JSON-native either way); hit entries are cache entry ids (ints).
+    """
+    return json_safe({
+        "exact_hit_entry": report.exact_hit_entry,
+        "sub_hit_entries": list(report.sub_hit_entries),
+        "super_hit_entries": list(report.super_hit_entries),
+        "method_candidates": sorted(report.method_candidates, key=repr),
+        "guaranteed_answers": sorted(report.guaranteed_answers, key=repr),
+        "guaranteed_non_answers": sorted(report.guaranteed_non_answers, key=repr),
+        "verified_candidates": sorted(report.verified_candidates, key=repr),
+        "verified_answers": sorted(report.verified_answers, key=repr),
+        "answer": sorted(report.answer, key=repr),
+        "cache_population": report.cache_population,
+        "dataset_tests": report.dataset_tests,
+        "probe_tests": report.probe_tests,
+        "filter_seconds": report.filter_seconds,
+        "probe_seconds": report.probe_seconds,
+        "verify_seconds": report.verify_seconds,
+        "total_seconds": report.total_seconds,
+        "baseline_tests": report.baseline_tests,
+        "baseline_seconds": report.baseline_seconds,
+        "stage_seconds": dict(report.stage_seconds),
+    })
+
+
+def report_from_wire(query: Query, payload: dict) -> QueryReport:
+    """Rebuild the shard's :class:`QueryReport` around the coordinator's query."""
+    return QueryReport(
+        query=query,
+        exact_hit_entry=payload.get("exact_hit_entry"),
+        sub_hit_entries=list(payload.get("sub_hit_entries", [])),
+        super_hit_entries=list(payload.get("super_hit_entries", [])),
+        method_candidates=set(payload.get("method_candidates", [])),
+        guaranteed_answers=set(payload.get("guaranteed_answers", [])),
+        guaranteed_non_answers=set(payload.get("guaranteed_non_answers", [])),
+        verified_candidates=set(payload.get("verified_candidates", [])),
+        verified_answers=set(payload.get("verified_answers", [])),
+        answer=set(payload.get("answer", [])),
+        cache_population=int(payload.get("cache_population", 0)),
+        dataset_tests=int(payload.get("dataset_tests", 0)),
+        probe_tests=int(payload.get("probe_tests", 0)),
+        filter_seconds=float(payload.get("filter_seconds", 0.0)),
+        probe_seconds=float(payload.get("probe_seconds", 0.0)),
+        verify_seconds=float(payload.get("verify_seconds", 0.0)),
+        total_seconds=float(payload.get("total_seconds", 0.0)),
+        baseline_tests=int(payload.get("baseline_tests", 0)),
+        baseline_seconds=payload.get("baseline_seconds"),
+        stage_seconds=dict(payload.get("stage_seconds", {})),
+    )
+
+
+# ---------------------------------------------------------------------- #
+# the worker HTTP app
+# ---------------------------------------------------------------------- #
+class _WorkerHTTPServer(ThreadingHTTPServer):
+    """Loopback transport: one thread per coordinator connection."""
+
+    daemon_threads = True
+    request_queue_size = 128
+
+
+class ShardWorkerApp:
+    """HTTP-agnostic request handling for one shard worker."""
+
+    def __init__(self, system: GraphCacheSystem, shard_index: int) -> None:
+        self.system = system
+        self.shard_index = shard_index
+
+    def describe(self) -> dict:
+        """Everything the coordinator mirrors about this worker's system."""
+        payload = {
+            "shard": self.shard_index,
+            "method_name": self.system.method.name,
+            "method": self.system.method.describe(),
+            "dataset_size": len(self.system.dataset),
+            "cache": (self.system.cache.describe()
+                      if self.system.cache is not None else None),
+            "cache_memory_bytes": self.system.cache_memory_bytes(),
+            "index_memory_bytes": self.system.index_memory_bytes(),
+        }
+        return json_safe(payload)
+
+    def protocol(self) -> dict:
+        return {
+            "versions": list(SUPPORTED_VERSIONS),
+            "preferred": PROTOCOL_VERSION,
+            "server": f"GraphCacheShardWorker/{__version__}",
+        }
+
+    def serve_query(self, payload: dict) -> tuple[int, dict]:
+        """Execute one envelope query; success carries the full report."""
+        try:
+            request, version = parse_request(payload)
+        except Exception as exc:
+            envelope = ErrorEnvelope.from_exception(exc)
+            return envelope.http_status, envelope.to_wire(PROTOCOL_VERSION)
+        try:
+            report = self.system.run_query(request.to_query())
+        except Exception as exc:
+            envelope = ErrorEnvelope.from_exception(exc, request_id=request.request_id)
+            return envelope.http_status, envelope.to_wire(version)
+        response = QueryResponse.from_report(report, request_id=request.request_id)
+        wire = response.to_wire(version)
+        if version >= 2:
+            wire["result"]["report"] = report_to_wire(report)
+        return 200, wire
+
+    def admin(self, path: str, payload: dict) -> tuple[int, dict]:
+        """Shard lifecycle endpoints the coordinator drives."""
+        if path == "/admin/flush-window":
+            self.system.flush_window()
+            return 200, {"ok": True}
+        if path == "/admin/reset-statistics":
+            self.system.statistics.reset()
+            return 200, {"ok": True}
+        if path == "/admin/snapshot/save":
+            target = payload.get("path")
+            if not isinstance(target, str) or not target:
+                return 400, {"error": "'path' must be a non-empty string"}
+            return 200, {"entries": self.system.save_snapshot(target)}
+        if path == "/admin/snapshot/restore":
+            target = payload.get("path")
+            if not isinstance(target, str) or not target:
+                return 400, {"error": "'path' must be a non-empty string"}
+            return 200, {"entries": self.system.restore_snapshot(target)}
+        return 404, {"error": f"unknown path {path!r}"}
+
+
+def _make_handler(app: ShardWorkerApp, httpd: _WorkerHTTPServer) -> type[BaseHTTPRequestHandler]:
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"  # keep-alive: the pool reuses connections
+        server_version = f"GraphCacheShardWorker/{__version__}"
+        # headers and body flush as separate small writes; without NODELAY,
+        # Nagle + delayed ACK stalls every response ~40ms even on loopback
+        disable_nagle_algorithm = True
+
+        def do_POST(self) -> None:
+            try:
+                length = int(self.headers.get("Content-Length", "0"))
+                raw = self.rfile.read(length)
+            except ValueError:
+                self._reply(400, {"error": "bad Content-Length header"})
+                return
+            try:
+                payload = json.loads(raw or b"{}")
+            except json.JSONDecodeError as exc:
+                self._reply(400, {"error": f"malformed JSON body: {exc}"})
+                return
+            if not isinstance(payload, dict):
+                payload = {}
+            if self.path == "/query":
+                status, body = app.serve_query(payload)
+            elif self.path == "/admin/shutdown":
+                # reply first, then stop serve_forever off-thread (shutdown
+                # from a handler thread would deadlock the serve loop)
+                status, body = 200, {"ok": True}
+                threading.Thread(target=httpd.shutdown, daemon=True).start()
+            elif self.path.startswith("/admin/"):
+                status, body = app.admin(self.path, payload)
+            else:
+                status, body = 404, {"error": f"unknown path {self.path!r}"}
+            self._reply(status, body)
+
+        def do_GET(self) -> None:
+            if self.path == "/protocol":
+                self._reply(200, app.protocol())
+            elif self.path == "/health":
+                self._reply(200, {"status": "ok", "shard": app.shard_index})
+            elif self.path == "/describe":
+                self._reply(200, app.describe())
+            elif self.path == "/metrics":
+                self._reply(200, MetricsSnapshot.from_system(app.system).to_wire())
+            else:
+                self._reply(404, {"error": f"unknown path {self.path!r}"})
+
+        def _reply(self, status: int, payload: dict) -> None:
+            body = json.dumps(payload).encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def log_message(self, format: str, *args) -> None:  # noqa: A002
+            pass  # the coordinator accounts requests; workers stay silent
+
+    return Handler
+
+
+def worker_main(
+    ready,
+    dataset_payload: list[dict],
+    config_payload: dict,
+    shard_index: int,
+    method_factory=None,
+) -> None:
+    """Entry point of a spawned shard worker process.
+
+    Rebuilds the partition (:meth:`Graph.from_dict`) and the per-shard
+    configuration, builds the system (config-driven method unless a picklable
+    ``method_factory`` was shipped), binds the loopback app on an ephemeral
+    port, reports ``{"port", "describe"}`` on the ``ready`` pipe, and serves
+    until ``/admin/shutdown`` (or the process is killed).  A startup failure
+    is reported as ``{"error": ...}`` on the pipe so the coordinator can
+    surface the real reason instead of a bare handshake timeout.
+    """
+    from repro.graph.graph import Graph  # deferred: after spawn bootstrap
+
+    try:
+        dataset = [Graph.from_dict(payload) for payload in dataset_payload]
+        config = GCConfig.from_dict(config_payload)
+        method = method_factory() if method_factory is not None else None
+        system = GraphCacheSystem(dataset, config, method=method)
+        app = ShardWorkerApp(system, shard_index)
+        httpd = _WorkerHTTPServer(("127.0.0.1", 0), None)
+        httpd.RequestHandlerClass = _make_handler(app, httpd)
+    except Exception as exc:
+        try:
+            ready.send({"error": f"{type(exc).__name__}: {exc}"})
+        finally:
+            ready.close()
+        return
+    try:
+        ready.send({"port": httpd.server_address[1], "describe": app.describe()})
+        ready.close()
+        httpd.serve_forever()
+    finally:
+        httpd.server_close()
+        system.close()

@@ -8,6 +8,9 @@ returns exactly the same answer sets** for the same workload —
 * ``sharded(N)``  — the scatter-gather engine at N shards (full scatter);
 * ``sharded(N)+short-circuit`` — the same engine with summary-driven shard
   pruning (``scatter_mode="short-circuit"``);
+* ``sharded(N)+process`` — the same engine with every shard hosted in a
+  spawned worker process (``shard_backend="process"``, v2 envelopes over
+  loopback);
 * ``served``      — queries replayed through the HTTP server.
 
 The harness runs each arm on a *fresh* system over the same dataset and the
@@ -132,6 +135,7 @@ def run_sharded(
     num_shards: int,
     concurrent_workers: int | None = None,
     scatter_mode: str = "full",
+    shard_backend: str = "thread",
     **config_overrides,
 ) -> ArmResult:
     """The scatter-gather engine at ``num_shards`` shards.
@@ -142,9 +146,12 @@ def run_sharded(
     the arm then also records every query's scatter plan, the router
     assignment and the planner statistics, so a mismatch can be blamed on
     the shard whose pruning was unsound (:func:`diff_short_circuit`).
+    ``shard_backend="process"`` hosts every shard in a spawned worker
+    process behind the v2 envelope transport — the arm that proves breaking
+    the GIL changes nothing observable.
     """
     config = base_config(num_shards=num_shards, scatter_mode=scatter_mode,
-                         **config_overrides)
+                         shard_backend=shard_backend, **config_overrides)
     with ShardedGraphCacheSystem(dataset, config) as system:
         queries = clone_queries(workload)
         if concurrent_workers is None:
@@ -154,7 +161,8 @@ def run_sharded(
         return ArmResult(
             name=f"sharded({num_shards})"
             + (f"+concurrent({concurrent_workers})" if concurrent_workers else "")
-            + (f"+{scatter_mode}" if scatter_mode != "full" else ""),
+            + (f"+{scatter_mode}" if scatter_mode != "full" else "")
+            + (f"+{shard_backend}" if shard_backend != "thread" else ""),
             answers=[frozenset(report.answer) for report in reports],
             aggregate=system.aggregate(),
             plans=[query.metadata.get("scatter", {}) for query in queries],

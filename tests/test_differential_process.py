@@ -1,0 +1,217 @@
+"""Differential correctness: process-sharded ≡ thread-sharded ≡ cached ≡ direct.
+
+The acceptance property of the multiprocess backend: hosting every shard in
+a spawned worker process behind the v2 envelope transport changes *nothing
+observable*.  On a seeded mixed sub/supergraph workload the process-sharded
+engine — sequential, concurrent, short-circuit-planned and served over HTTP
+with cost-based admission — returns answer sets byte-identical to plain
+Method M execution, and at one shard reproduces the cached engine's hit/miss
+accounting exactly (the full report really does survive the wire).
+
+Worker-crash fault injection lives here too: a shard worker killed
+mid-trace is respawned within ``shard_respawn_limit`` with zero dropped or
+duplicated answers, and with the budget at 0 the failure surfaces as the
+typed, retryable ``shard-worker`` error.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.envelopes import ErrorEnvelope
+from repro.errors import ShardWorkerError
+from repro.graph import molecule_dataset
+from repro.runtime.config import GCConfig
+from repro.runtime.system import GraphCacheSystem
+from repro.sharding import ShardedGraphCacheSystem
+from repro.workload import generate_trace
+
+from tests.differential import (
+    assert_answers_equal,
+    assert_hit_counts_equal,
+    clone_queries,
+    run_cached,
+    run_direct,
+    run_served,
+    run_sharded,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return molecule_dataset(14, min_vertices=7, max_vertices=12, rng=177)
+
+
+@pytest.fixture(scope="module")
+def workload(dataset):
+    return generate_trace(dataset, 120, skew="zipfian", query_type="mixed", seed=29)
+
+
+@pytest.fixture(scope="module")
+def direct(dataset, workload):
+    return run_direct(dataset, workload)
+
+
+@pytest.fixture(scope="module")
+def cached(dataset, workload):
+    return run_cached(dataset, workload)
+
+
+class TestProcessShardedEquivalence:
+    @pytest.mark.parametrize("num_shards", (1, 2))
+    def test_process_sharded_matches_direct_and_cached(self, dataset, workload,
+                                                       direct, cached, num_shards):
+        process = run_sharded(dataset, workload, num_shards,
+                              shard_backend="process")
+        assert_answers_equal(direct, process)
+        assert_answers_equal(cached, process)
+
+    def test_single_process_shard_hit_accounting_is_identical(self, dataset,
+                                                              workload, cached):
+        """process-sharded(1) is the cached engine behind a pipe: every hit,
+        miss and sub-iso test count must survive envelope serialisation."""
+        process = run_sharded(dataset, workload, num_shards=1,
+                              shard_backend="process")
+        assert_hit_counts_equal(cached, process)
+
+    def test_thread_and_process_backends_agree_exactly(self, dataset, workload):
+        """Same shard count, same workload: the two backends must agree on
+        answers *and* accounting — partitioning is identical, only the
+        hosting differs."""
+        thread = run_sharded(dataset, workload, num_shards=2)
+        process = run_sharded(dataset, workload, num_shards=2,
+                              shard_backend="process")
+        assert_answers_equal(thread, process)
+        assert_hit_counts_equal(thread, process)
+
+    def test_concurrent_process_sharded_matches_direct(self, dataset, workload,
+                                                       direct):
+        """Per-worker concurrent streams (4 in-flight envelopes per shard)
+        must not change answers."""
+        concurrent = run_sharded(dataset, workload, num_shards=2,
+                                 concurrent_workers=4, shard_backend="process")
+        assert_answers_equal(direct, concurrent)
+
+    def test_short_circuit_process_sharded_matches_direct(self, dataset,
+                                                          workload, direct):
+        """Summary-driven shard pruning composes with process hosting (the
+        planner runs coordinator-side; pruned workers never see the query)."""
+        pruned = run_sharded(dataset, workload, num_shards=2,
+                             scatter_mode="short-circuit",
+                             shard_backend="process")
+        assert_answers_equal(direct, pruned)
+        assert pruned.mean_fanout <= 2.0
+
+    def test_served_process_backend_matches_direct(self, dataset, workload,
+                                                   direct):
+        """The full production path: HTTP server → scatter → worker
+        processes, with cost-based admission charging per-shard budgets."""
+        served = run_served(dataset, workload, num_shards=2,
+                            num_threads=4, max_batch_size=4,
+                            shard_backend="process",
+                            admission_mode="cost-based")
+        assert_answers_equal(direct, served)
+
+
+class TestProcessShardSnapshots:
+    def test_snapshot_round_trip_across_backends(self, dataset, workload, tmp_path):
+        """A snapshot written by process workers restores into a fresh
+        process deployment (and counts entries symmetrically)."""
+        path = tmp_path / "snap.json"
+        config = GCConfig(cache_capacity=25, window_size=5, num_shards=2,
+                          shard_backend="process")
+        with ShardedGraphCacheSystem(dataset, config) as system:
+            system.warm_cache(clone_queries(workload)[:30])
+            saved = system.save_snapshot(path)
+        assert saved > 0
+        with ShardedGraphCacheSystem(dataset, config) as system:
+            restored = system.restore_snapshot(path)
+            assert restored == saved
+            # the warm cache still answers correctly
+            queries = clone_queries(workload)[:20]
+            with GraphCacheSystem(dataset, GCConfig(cache_enabled=False)) as ref:
+                expected = [frozenset(r.answer) for r in ref.run_queries(
+                    clone_queries(workload)[:20])]
+            got = [frozenset(r.answer) for r in system.run_queries(queries)]
+            assert got == expected
+
+
+class TestWorkerCrashRecovery:
+    def test_mid_trace_crash_respawns_with_no_answer_loss(self, dataset, workload,
+                                                          direct):
+        """Kill one worker halfway through the trace: the coordinator must
+        respawn it within budget and the full answer list must still match
+        direct execution — nothing dropped, nothing duplicated."""
+        config = GCConfig(cache_capacity=25, window_size=5, num_shards=2,
+                          shard_backend="process", shard_respawn_limit=1)
+        queries = clone_queries(workload)
+        half = len(queries) // 2
+        with ShardedGraphCacheSystem(dataset, config) as system:
+            answers = [frozenset(r.answer)
+                       for r in system.run_queries(queries[:half])]
+            victim = system._process_backend._handles[0].process
+            victim.terminate()
+            victim.join(timeout=10)
+            answers += [frozenset(r.answer)
+                        for r in system.run_queries(queries[half:])]
+            assert system._process_backend.respawns_performed == 1
+        assert len(answers) == len(direct.answers)
+        assert answers == direct.answers
+
+    def test_crash_under_concurrent_batch_respawns_once(self, dataset, workload,
+                                                        direct):
+        """A dead worker fails many in-flight envelopes at once; only one
+        respawn may be spent and only the failed queries re-issued."""
+        config = GCConfig(cache_capacity=25, window_size=5, num_shards=2,
+                          shard_backend="process", shard_respawn_limit=1)
+        queries = clone_queries(workload)[:40]
+        with ShardedGraphCacheSystem(dataset, config) as system:
+            victim = system._process_backend._handles[1].process
+            victim.terminate()
+            victim.join(timeout=10)
+            reports = system.run_queries_concurrent(queries, max_workers=4)
+            assert system._process_backend.respawns_performed == 1
+        answers = [frozenset(r.answer) for r in reports]
+        assert answers == direct.answers[:40]
+
+    def test_exhausted_respawn_budget_surfaces_typed_retryable_error(self, dataset,
+                                                                     workload):
+        config = GCConfig(cache_capacity=25, window_size=5, num_shards=2,
+                          shard_backend="process", shard_respawn_limit=0)
+        queries = clone_queries(workload)[:5]
+        with ShardedGraphCacheSystem(dataset, config) as system:
+            victim = system._process_backend._handles[0].process
+            victim.terminate()
+            victim.join(timeout=10)
+            with pytest.raises(ShardWorkerError) as excinfo:
+                system.run_queries(queries)
+        assert excinfo.value.shard == 0
+        # the taxonomy classifies it as a retryable 503 on the wire
+        envelope = ErrorEnvelope.from_exception(excinfo.value)
+        assert envelope.code == "shard-worker"
+        assert envelope.http_status == 503
+        assert envelope.retryable is True
+        assert envelope.details.get("shard") == 0
+
+
+class TestProcessShardObservability:
+    def test_describe_and_metrics_fan_in(self, dataset, workload):
+        """/metrics-style fan-in reads worker-side cache state through the
+        describe fallback, and the statistics mirror matches the merged view."""
+        config = GCConfig(cache_capacity=25, window_size=5, num_shards=2,
+                          shard_backend="process")
+        queries = clone_queries(workload)[:30]
+        with ShardedGraphCacheSystem(dataset, config) as system:
+            system.run_queries(queries)
+            rows = system.describe_shards()
+            assert len(rows) == 2
+            for row in rows:
+                assert "cache" in row, "worker cache state missing from fan-in"
+                assert row["index_memory_bytes"] > 0
+            snapshot = system.statistics.to_dict()
+            assert snapshot["num_queries"] == len(queries)
+            per_shard = [shard["num_queries"]
+                         for shard in snapshot["shards"].values()]
+            assert all(count == len(queries) for count in per_shard)
+            description = system.describe()
+            assert description["config"]["shard_backend"] == "process"

@@ -33,11 +33,28 @@ class TestGCConfig:
             {"min_tests_to_admit": -1},
             {"cache_feature_length": 0},
             {"max_sub_hits": 0},
+            {"shard_backend": "fork"},
+            {"shard_backend": "threads"},
+            {"shard_respawn_limit": -1},
         ],
     )
     def test_invalid_configs_rejected(self, kwargs):
         with pytest.raises(ConfigurationError):
             GCConfig(**kwargs).validate()
+
+    def test_unknown_shard_backend_names_choices(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            GCConfig(shard_backend="gevent").validate()
+        message = str(excinfo.value)
+        assert "gevent" in message
+        assert "thread" in message and "process" in message
+
+    def test_shard_backend_round_trips(self):
+        config = GCConfig(num_shards=2, shard_backend="process", shard_respawn_limit=3)
+        restored = GCConfig.from_dict(config.to_dict())
+        assert restored.shard_backend == "process"
+        assert restored.shard_respawn_limit == 3
+        restored.validate()
 
 
 class TestQueryReport:
