@@ -24,8 +24,10 @@ from __future__ import annotations
 
 import asyncio
 import json
+import random
 import socket
 import time
+import uuid
 
 from repro.api.envelopes import (
     BatchResult,
@@ -44,6 +46,8 @@ from repro.api.remote import (
     validate_pinned_version,
 )
 from repro.errors import ProtocolError, ServerError, WorkloadError
+from repro.obs.recorder import get_recorder
+from repro.obs.trace import Span, TraceContext, new_span_id, new_trace_id
 from repro.query_model import QueryType
 from repro.workload.replay import ReplayEvent, ReplayResult
 from repro.workload.workload import Workload
@@ -112,14 +116,21 @@ class AsyncRemoteGraphService:
         timeout: float = 60.0,
         max_connections: int = 1024,
         protocol_version: int | None = None,
+        trace_sample_rate: float = 0.0,
     ) -> None:
         if max_connections < 1:
             raise ServerError("max_connections must be at least 1")
         validate_pinned_version(protocol_version)
+        if not (0.0 <= trace_sample_rate <= 1.0):
+            raise ProtocolError("trace_sample_rate must be between 0 and 1")
         self.host = host
         self.port = port
         self.timeout = timeout
         self.max_connections = max_connections
+        #: Fraction of queries this client originates a trace for (v2 only).
+        self.trace_sample_rate = trace_sample_rate
+        # dedicated RNG: sampling must not perturb seeded workload streams
+        self._sample_rng = random.Random(uuid.uuid4().int)
         self._version = protocol_version
         self._version_lock: asyncio.Lock | None = None  # bound to the running loop
         self._idle: list[_Connection] = []
@@ -312,12 +323,38 @@ class AsyncRemoteGraphService:
     # ------------------------------------------------------------------ #
     # GraphService surface (await-shaped)
     # ------------------------------------------------------------------ #
+    def _sampled(self) -> bool:
+        rate = self.trace_sample_rate
+        if rate <= 0.0:
+            return False
+        return rate >= 1.0 or self._sample_rng.random() < rate
+
     async def send(self, query,
                    query_type: QueryType | str = QueryType.SUBGRAPH) -> tuple[int, dict]:
-        """POST one query; returns the raw ``(http_status, payload)``."""
+        """POST one query; returns the raw ``(http_status, payload)``.
+
+        Client-side sampling mirrors the sync backend: a sampled query
+        originates a trace (``client.request`` root span in the local
+        recorder) whose context rides the v2 envelope.
+        """
         request = as_request(query, query_type)
         version = await self._protocol_version()
-        return await self._request("POST", "/query", request.to_wire(version))
+        context = None
+        if request.trace is None and version >= 2 and self._sampled():
+            context = TraceContext(trace_id=new_trace_id(), span_id=new_span_id())
+            request.trace = context
+        started_wall = time.time()
+        started = time.perf_counter()
+        try:
+            return await self._request("POST", "/query", request.to_wire(version))
+        finally:
+            if context is not None:
+                get_recorder().record(Span(
+                    trace_id=context.trace_id, span_id=context.span_id,
+                    name="client.request", start=started_wall,
+                    duration_seconds=time.perf_counter() - started,
+                    attributes={"request_id": request.request_id},
+                ))
 
     async def run(self, query,
                   query_type: QueryType | str = QueryType.SUBGRAPH) -> QueryResponse:
@@ -355,6 +392,15 @@ class AsyncRemoteGraphService:
 
     async def health(self) -> dict:
         return await self._ok("GET", "/health")
+
+    async def debug_traces(self, trace_id: str | None = None,
+                           sort: str = "recent", count: int = 10) -> dict:
+        """Fetch span trees from ``GET /debug/traces``."""
+        if trace_id is not None:
+            path = f"/debug/traces?trace_id={trace_id}"
+        else:
+            path = f"/debug/traces?sort={sort}&count={int(count)}"
+        return await self._ok("GET", path)
 
     async def _ok(self, method: str, path: str, body: dict | None = None) -> dict:
         status, payload = await self._request(method, path, body)

@@ -45,6 +45,7 @@ from repro.api.taxonomy import (
 )
 from repro.errors import GraphCacheError, ProtocolError
 from repro.graph.graph import Graph
+from repro.obs.trace import TRACE_KEY, TraceContext
 from repro.query_model import Query, QueryType
 
 #: The protocol version this library speaks natively.
@@ -97,20 +98,34 @@ class QueryRequest:
     metadata: dict = field(default_factory=dict)
     #: Optional caller-chosen correlation id, echoed on the v2 response.
     request_id: str | int | None = None
+    #: Optional distributed-tracing context; rides as an additive top-level
+    #: ``"trace"`` section of the v2 envelope (never emitted on v1, so legacy
+    #: clients and recorded traces are unaffected).
+    trace: TraceContext | None = None
 
     def __post_init__(self) -> None:
         self.query_type = QueryType.parse(self.query_type)
 
     @classmethod
     def from_query(cls, query: Query, request_id: str | int | None = None) -> "QueryRequest":
-        """Wrap an in-process :class:`Query` (the graph is shared, not copied)."""
+        """Wrap an in-process :class:`Query` (the graph is shared, not copied).
+
+        A trace carrier stamped in ``query.metadata`` is lifted onto the
+        envelope's ``trace`` field so it travels in the envelope section of
+        the wire format rather than inside user metadata.
+        """
+        metadata = dict(query.metadata)
+        trace = TraceContext.from_wire(metadata.pop(TRACE_KEY, None))
         return cls(graph=query.graph, query_type=query.query_type,
-                   metadata=dict(query.metadata), request_id=request_id)
+                   metadata=metadata, request_id=request_id, trace=trace)
 
     def to_query(self) -> Query:
         """A fresh executable :class:`Query` (new query id) for the engine."""
+        metadata = dict(self.metadata)
+        if self.trace is not None:
+            metadata[TRACE_KEY] = self.trace.to_carrier()
         return Query(graph=self.graph, query_type=self.query_type,
-                     metadata=dict(self.metadata))
+                     metadata=metadata)
 
     def to_wire(self, version: int = PROTOCOL_VERSION) -> dict:
         """Serialise for the wire in the given protocol version."""
@@ -124,6 +139,8 @@ class QueryRequest:
         payload: dict = {"version": 2, "query": body}
         if self.request_id is not None:
             payload["request_id"] = self.request_id
+        if self.trace is not None:
+            payload["trace"] = self.trace.to_wire()
         return payload
 
     @classmethod
@@ -141,7 +158,7 @@ def parse_request(payload: object) -> tuple[QueryRequest, int]:
     """
     version = detect_version(payload)
     if version == 1:
-        body, request_id = payload, None
+        body, request_id, trace = payload, None, None
     else:
         body = payload.get("query")
         if not isinstance(body, dict):
@@ -149,6 +166,8 @@ def parse_request(payload: object) -> tuple[QueryRequest, int]:
         request_id = payload.get("request_id")
         if request_id is not None and not isinstance(request_id, (str, int)):
             raise ProtocolError("'request_id' must be a string or integer")
+        # lenient by design: a malformed trace section reads as "untraced"
+        trace = TraceContext.from_wire(payload.get("trace"))
     if "graph" not in body:
         raise ProtocolError("request has no 'graph' field")
     try:
@@ -163,7 +182,8 @@ def parse_request(payload: object) -> tuple[QueryRequest, int]:
     if not isinstance(metadata, dict):
         raise ProtocolError("'metadata' must be a JSON object")
     request = QueryRequest(graph=graph, query_type=query_type,
-                           metadata=dict(metadata), request_id=request_id)
+                           metadata=dict(metadata), request_id=request_id,
+                           trace=trace)
     return request, version
 
 
@@ -202,6 +222,9 @@ class QueryResponse:
     queue_seconds: float | None = None
     batch_size: int | None = None
     request_id: str | int | None = None
+    #: Trace id of the server-side span tree for this query (v2 only,
+    #: additive) — feed it to ``repro trace <id>`` / ``GET /debug/traces``.
+    trace_id: str | None = None
 
     @classmethod
     def from_report(
@@ -258,6 +281,8 @@ class QueryResponse:
         payload: dict = {"version": 2, "result": self._body()}
         if self.request_id is not None:
             payload["request_id"] = self.request_id
+        if self.trace_id is not None:
+            payload["trace"] = {"trace_id": self.trace_id}
         return payload
 
     @classmethod
@@ -267,6 +292,8 @@ class QueryResponse:
         if not isinstance(body, dict) or "answer" not in body:
             raise ProtocolError("response has no 'answer' field")
         server = body.get("server", {}) or {}
+        trace = payload.get("trace") if version >= 2 else None
+        trace_id = trace.get("trace_id") if isinstance(trace, dict) else None
         return cls(
             answer=frozenset(body["answer"]),
             query_id=body.get("query_id"),
@@ -278,6 +305,7 @@ class QueryResponse:
             queue_seconds=server.get("queue_seconds"),
             batch_size=server.get("batch_size"),
             request_id=payload.get("request_id") if version >= 2 else None,
+            trace_id=trace_id if isinstance(trace_id, str) else None,
         )
 
 

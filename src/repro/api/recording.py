@@ -19,6 +19,7 @@ import time
 
 from repro.api.envelopes import PROTOCOL_VERSION, QueryRequest
 from repro.errors import RecordingStateError
+from repro.obs.trace import TRACE_KEY
 from repro.query_model import Query
 from repro.workload.workload import Workload
 
@@ -33,6 +34,7 @@ class TraceRecorder:
         self._name = "recorded-trace"
         self._path: str | None = None
         self._started_at: float | None = None
+        self._started_mono: float | None = None
 
     @property
     def active(self) -> bool:
@@ -54,7 +56,10 @@ class TraceRecorder:
             self._queries = []
             self._name = name or "recorded-trace"
             self._path = path
+            # wall clock only stamps *when*; the monotonic clock measures
+            # *how long*, so a clock step mid-recording cannot skew it
             self._started_at = time.time()
+            self._started_mono = time.monotonic()
             return {"recording": True, "name": self._name, "path": self._path}
 
     def record(self, request: QueryRequest) -> None:
@@ -62,6 +67,9 @@ class TraceRecorder:
         if not self._active:
             return
         query = request.to_query()
+        # a replayed trace must offer the original queries, not resurrect
+        # the recording run's trace contexts
+        query.metadata.pop(TRACE_KEY, None)
         if request.request_id is not None:
             query.metadata.setdefault("request_id", request.request_id)
         with self._lock:
@@ -82,6 +90,7 @@ class TraceRecorder:
             queries, self._queries = self._queries, []
             name, path = self._name, self._path
             started_at = self._started_at
+            started_mono = self._started_mono
         trace = Workload(
             name=name,
             queries=queries,
@@ -89,8 +98,8 @@ class TraceRecorder:
                 "recorded": True,
                 "protocol_version": PROTOCOL_VERSION,
                 "recorded_at": started_at,
-                "duration_seconds": round(time.time() - started_at, 3)
-                if started_at is not None else None,
+                "duration_seconds": round(time.monotonic() - started_mono, 3)
+                if started_mono is not None else None,
             },
         )
         if path is not None:

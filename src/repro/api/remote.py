@@ -19,7 +19,11 @@ from __future__ import annotations
 
 import http.client
 import json
+import random
 import threading
+import time
+import uuid
+from urllib.parse import urlencode
 
 from repro.api.envelopes import (
     BatchResult,
@@ -32,6 +36,8 @@ from repro.api.envelopes import (
     parse_response,
 )
 from repro.errors import ProtocolError, ServerError
+from repro.obs.recorder import get_recorder
+from repro.obs.trace import Span, TraceContext, new_span_id, new_trace_id
 from repro.query_model import QueryType
 
 from typing import TYPE_CHECKING
@@ -98,11 +104,21 @@ class RemoteGraphService:
         port: int,
         timeout: float = 60.0,
         protocol_version: int | None = None,
+        trace_sample_rate: float = 0.0,
     ) -> None:
         validate_pinned_version(protocol_version)
+        if not (0.0 <= trace_sample_rate <= 1.0):
+            raise ProtocolError("trace_sample_rate must be between 0 and 1")
         self.host = host
         self.port = port
         self.timeout = timeout
+        #: Fraction of queries this client originates a trace for (v2 wire
+        #: only — a v1 server never sees the context).  The sampled trace
+        #: ids come back on the response, so callers can correlate with the
+        #: server's ``/debug/traces``.
+        self.trace_sample_rate = trace_sample_rate
+        # dedicated RNG: sampling must not perturb seeded workload streams
+        self._sample_rng = random.Random(uuid.uuid4().int)
         self._local = threading.local()
         self._version = protocol_version
         self._version_lock = threading.Lock()
@@ -185,10 +201,38 @@ class RemoteGraphService:
     # ------------------------------------------------------------------ #
     # GraphService surface
     # ------------------------------------------------------------------ #
+    def _sampled(self) -> bool:
+        rate = self.trace_sample_rate
+        if rate <= 0.0:
+            return False
+        return rate >= 1.0 or self._sample_rng.random() < rate
+
     def send(self, query, query_type: QueryType | str = QueryType.SUBGRAPH) -> tuple[int, dict]:
-        """POST one query; returns the raw ``(http_status, payload)``."""
+        """POST one query; returns the raw ``(http_status, payload)``.
+
+        When client-side sampling fires (and the query doesn't already carry
+        a context) a fresh trace is originated: a ``client.request`` root
+        span lands in the local span recorder and the context rides the v2
+        envelope so the server parents its own spans under it.
+        """
         request = as_request(query, query_type)
-        return self._request("POST", "/query", request.to_wire(self.protocol_version))
+        version = self.protocol_version
+        context = None
+        if request.trace is None and version >= 2 and self._sampled():
+            context = TraceContext(trace_id=new_trace_id(), span_id=new_span_id())
+            request.trace = context
+        started_wall = time.time()
+        started = time.perf_counter()
+        try:
+            return self._request("POST", "/query", request.to_wire(version))
+        finally:
+            if context is not None:
+                get_recorder().record(Span(
+                    trace_id=context.trace_id, span_id=context.span_id,
+                    name="client.request", start=started_wall,
+                    duration_seconds=time.perf_counter() - started,
+                    attributes={"request_id": request.request_id},
+                ))
 
     def run(self, query, query_type: QueryType | str = QueryType.SUBGRAPH) -> QueryResponse:
         """Execute one query, raising the typed error on any failure."""
@@ -218,6 +262,25 @@ class RemoteGraphService:
 
     def health(self) -> dict:
         return self._ok("GET", "/health")
+
+    def debug_traces(self, trace_id: str | None = None, sort: str = "recent",
+                     count: int = 10) -> dict:
+        """Fetch span trees from ``GET /debug/traces``."""
+        if trace_id is not None:
+            query = urlencode({"trace_id": trace_id})
+        else:
+            query = urlencode({"sort": sort, "count": count})
+        return self._ok("GET", f"/debug/traces?{query}")
+
+    def metrics_text(self) -> str:
+        """The Prometheus-style text exposition (``/metrics?format=text``)."""
+        connection = self._connection()
+        connection.request("GET", "/metrics?format=text")
+        response = connection.getresponse()
+        data = response.read()
+        if response.status != 200:
+            raise ServerError(f"/metrics?format=text replied {response.status}")
+        return data.decode("utf-8")
 
     def _ok(self, method: str, path: str, body: dict | None = None) -> dict:
         status, payload = self._request(method, path, body)

@@ -13,7 +13,10 @@ equivalent, wrapping the library's public API:
 * ``graphcache serve``            — the embedded query server (batching,
   admission control, ``/metrics``), optionally warm-started from a snapshot;
 * ``graphcache loadgen``          — trace-replay load generation against a
-  running server at a target QPS.
+  running server at a target QPS;
+* ``graphcache trace``            — fetch span trees from a running server's
+  ``/debug/traces`` and pretty-print them (one tree per traced query:
+  client send → queue → batch → plan/scatter → per-shard pipeline → merge).
 
 Every command accepts ``--seed`` so runs are reproducible.
 """
@@ -149,6 +152,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="cache snapshot: restored at startup, saved at shutdown")
     serve.add_argument("--duration", type=float, default=None,
                        help="serve for N seconds then drain (default: until Ctrl-C)")
+    serve.add_argument("--trace-sample-rate", type=float, default=0.0,
+                       help="fraction of requests the server traces end to end "
+                            "(0 disables, 1 traces everything)")
+    serve.add_argument("--slow-query-threshold", type=float, default=1.0,
+                       help="seconds over which a traced query is kept as a "
+                            "slow-query exemplar (full span tree + scatter plan)")
+    serve.add_argument("--slow-query-log", action="store_true",
+                       help="log slow-query exemplars to stderr as they happen "
+                            "(implies structured logging setup)")
 
     loadgen = subparsers.add_parser("loadgen", parents=[common],
                                     help="replay a query trace against a running server")
@@ -175,6 +187,17 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--connections", type=int, default=512,
                          help="connection pool size of the async client "
                               "(pre-opened before the clock starts)")
+
+    trace = subparsers.add_parser(
+        "trace", help="fetch and pretty-print span trees from /debug/traces")
+    trace.add_argument("--host", default="127.0.0.1")
+    trace.add_argument("--port", type=int, required=True)
+    trace.add_argument("--trace-id", default=None,
+                       help="fetch one specific trace by id")
+    trace.add_argument("--sort", default="recent", choices=["recent", "slowest"],
+                       help="listing order when no --trace-id is given")
+    trace.add_argument("--count", type=int, default=5,
+                       help="number of trees to list")
 
     return parser
 
@@ -205,6 +228,8 @@ def _config_from_args(args, policy: str | None = None) -> GCConfig:
         shard_backend=getattr(args, "shard_backend", "thread"),
         scatter_mode=getattr(args, "scatter", "full"),
         admission_mode=getattr(args, "admission_mode", "queue-depth"),
+        trace_sample_rate=getattr(args, "trace_sample_rate", 0.0),
+        slow_query_threshold_s=getattr(args, "slow_query_threshold", 1.0),
     )
 
 
@@ -291,6 +316,12 @@ def cmd_journey(args) -> int:
 
 def cmd_serve(args) -> int:
     """Run the embedded query server until Ctrl-C (or for --duration)."""
+    if args.slow_query_log:
+        from repro.obs.logs import configure_logging
+
+        # routes every repro.* logger — including repro.obs.slowquery, which
+        # emits one WARNING per threshold breach — to stderr with trace ids
+        configure_logging()
     dataset = _load_or_generate_dataset(args)
     server = QueryServer(
         dataset,
@@ -309,6 +340,10 @@ def cmd_serve(args) -> int:
     )
     print(f"serving {len(dataset)} graphs at {server.address} "
           f"(batch={args.batch_size}, queue={args.queue_depth}{shard_note})")
+    if args.trace_sample_rate > 0:
+        print(f"tracing {args.trace_sample_rate:.0%} of requests "
+              f"(slow-query threshold {args.slow_query_threshold:g}s); "
+              f"inspect with: graphcache trace --port {server.port}")
     if server.restored_entries:
         print(f"cache warm-started with {server.restored_entries} entries "
               f"from {args.snapshot_path}")
@@ -367,6 +402,50 @@ def cmd_loadgen(args) -> int:
     return 0 if result.errors == 0 else 1
 
 
+def _print_span(span: dict, depth: int) -> None:
+    duration_ms = span.get("duration_seconds", 0.0) * 1000.0
+    attrs = span.get("attributes") or {}
+    suffix = "".join(f" {key}={value}" for key, value in sorted(attrs.items()))
+    print(f"  {'  ' * depth}{span.get('name', '?'):<{max(1, 30 - 2 * depth)}} "
+          f"{duration_ms:9.3f}ms{suffix}")
+    for child in span.get("children", []):
+        _print_span(child, depth + 1)
+
+
+def _print_tree(tree: dict) -> None:
+    print(f"trace {tree.get('trace_id')} — {tree.get('num_spans')} spans, "
+          f"{tree.get('duration_seconds', 0.0) * 1000.0:.3f}ms"
+          f"{'' if tree.get('completed', True) else ' (incomplete)'}")
+    for root in tree.get("roots", []):
+        _print_span(root, 0)
+
+
+def cmd_trace(args) -> int:
+    """Fetch span trees from a server's ``/debug/traces`` and print them."""
+    client = RemoteGraphService(args.host, args.port)
+    if args.trace_id:
+        payload = client.debug_traces(trace_id=args.trace_id)
+        _print_tree(payload["trace"])
+        return 0
+    payload = client.debug_traces(sort=args.sort, count=args.count)
+    trees = payload.get("traces", [])
+    if not trees:
+        print("no traces recorded yet (is the server tracing? "
+              "serve --trace-sample-rate 1.0, or send v2 requests "
+              "with a client-side sample rate)")
+        return 1
+    for tree in trees:
+        _print_tree(tree)
+        print()
+    exemplars = payload.get("exemplars", [])
+    if exemplars:
+        print(f"{len(exemplars)} slow-query exemplar(s) over "
+              f"{exemplars[0].get('threshold_seconds', 0.0):g}s — slowest: "
+              f"trace {exemplars[0].get('trace_id')} at "
+              f"{exemplars[0].get('duration_seconds', 0.0):.3f}s")
+    return 0
+
+
 _COMMANDS = {
     "generate-dataset": cmd_generate_dataset,
     "run-workload": cmd_run_workload,
@@ -374,6 +453,7 @@ _COMMANDS = {
     "journey": cmd_journey,
     "serve": cmd_serve,
     "loadgen": cmd_loadgen,
+    "trace": cmd_trace,
 }
 
 

@@ -109,6 +109,19 @@ class GCConfig:
     #: (process backend only; 0 = never respawn).
     shard_respawn_limit: int = 1
 
+    # --- observability ----------------------------------------------------
+    #: Fraction of served queries the server traces end to end (0.0 = off,
+    #: 1.0 = every query).  Client-stamped trace contexts are always
+    #: honoured regardless of the rate — sampling only governs server-side
+    #: trace creation for untraced requests.
+    trace_sample_rate: float = 0.0
+    #: Completed traces at or above this duration are kept as slow-query
+    #: exemplars (full span tree + scatter plan) and logged.
+    slow_query_threshold_s: float = 1.0
+    #: Maximum spans retained by the per-process span recorder's ring buffer
+    #: (whole oldest traces are evicted first).
+    trace_buffer_size: int = 512
+
     # --- accounting ------------------------------------------------------
     #: When True, each query is *also* executed by plain Method M so that the
     #: reported time speedup is a measurement rather than an estimate.
@@ -164,6 +177,12 @@ class GCConfig:
             )
         if self.shard_respawn_limit < 0:
             raise ConfigurationError("shard_respawn_limit must be non-negative")
+        if not (0.0 <= self.trace_sample_rate <= 1.0):
+            raise ConfigurationError("trace_sample_rate must be between 0 and 1")
+        if self.slow_query_threshold_s <= 0:
+            raise ConfigurationError("slow_query_threshold_s must be positive")
+        if self.trace_buffer_size < 1:
+            raise ConfigurationError("trace_buffer_size must be at least 1")
 
     def to_dict(self) -> dict:
         """Serialise the configuration (for reports and experiment logs)."""

@@ -50,6 +50,11 @@ class QueryReport:
     #: Wall-clock seconds spent in each pipeline stage, in execution order
     #: (filter → probe → prune → verify → assemble → admit by default).
     stage_seconds: dict[str, float] = field(default_factory=dict)
+    #: Finished :class:`~repro.obs.trace.Span` objects this execution emitted
+    #: (empty unless the query carried a sampled trace context).  Worker
+    #: processes ship these back inside the wire report so the coordinator's
+    #: recorder sees one coherent cross-process tree.
+    spans: list = field(default_factory=list)
 
     @property
     def tests_saved(self) -> int:

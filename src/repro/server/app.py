@@ -18,9 +18,16 @@ message-string parsing).  Endpoints:
 * ``POST /record/start`` / ``POST /record/stop`` — server-side trace
   recording: persist the live request stream as a replayable trace.
 * ``GET /metrics``       — the :class:`StatisticsManager` snapshot (hit rate,
-  stage breakdown) plus cache population, JSON.
+  stage breakdown) plus cache population, JSON.  With ``?format=text`` the
+  unified telemetry registry renders Prometheus-style text instead,
+  fanning in process-worker registries as ``shard="i"`` series.
 * ``GET /stats``         — serving-side counters: admission/batching/uptime.
-* ``GET /health``        — liveness probe.
+* ``GET /health``        — liveness probe; with a process shard backend the
+  payload carries per-worker liveness + respawn counts and degrades the
+  status when a worker is down.
+* ``GET /debug/traces``  — recent/slowest span trees from the in-process
+  span recorder, plus slow-query exemplars (``?trace_id=``, ``?sort=``,
+  ``?count=``).
 
 Lifecycle: ``start()`` serves on a background thread; ``stop()`` performs a
 graceful drain (no accepted query is dropped), persists the cache snapshot
@@ -31,11 +38,14 @@ server pointed at the same snapshot path starts *warm*.
 from __future__ import annotations
 
 import json
+import random
 import threading
 import time
+import uuid
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
+from urllib.parse import parse_qs, urlsplit
 
 from repro import __version__
 from repro.api.envelopes import (
@@ -50,9 +60,22 @@ from repro.cache.statistics import json_safe
 from repro.errors import ProtocolError, RecordingStateError
 from repro.graph.graph import Graph
 from repro.methods.base import MethodM
+from repro.obs.collectors import (
+    batcher_samples,
+    pool_samples,
+    recorder_samples,
+    scatter_samples,
+    system_samples,
+)
+from repro.obs.logs import current_trace_id, get_logger
+from repro.obs.metrics import COUNTER, GAUGE, MetricsRegistry, Sample
+from repro.obs.recorder import configure_recorder
+from repro.obs.trace import Span, TraceContext, new_span_id, new_trace_id
 from repro.runtime.config import GCConfig
 from repro.server.batcher import RequestBatcher
 from repro.sharding import make_system
+
+logger = get_logger("server")
 
 
 class _HTTPServer(ThreadingHTTPServer):
@@ -129,6 +152,40 @@ class QueryServer:
         self._thread: threading.Thread | None = None
         self._started_at = time.monotonic()
         self._stopped = False
+        # --- observability: span recorder knobs + unified metrics registry
+        cfg = self.system.config
+        self.trace_sample_rate = cfg.trace_sample_rate
+        # dedicated RNG: the sampling decision must never consume the global
+        # seeded stream that workload generators depend on for determinism
+        self._sample_rng = random.Random(uuid.uuid4().int)
+        self.span_recorder = configure_recorder(
+            buffer_size=cfg.trace_buffer_size,
+            slow_threshold_seconds=cfg.slow_query_threshold_s,
+        )
+        self.registry = MetricsRegistry()
+        self._request_outcomes = {
+            outcome: self.registry.counter(
+                "gc_server_requests_total",
+                help="Query requests by terminal outcome",
+                outcome=outcome,
+            )
+            for outcome in ("ok", "rejected", "error", "timeout", "protocol-error")
+        }
+        self._request_latency = self.registry.histogram(
+            "gc_server_request_seconds",
+            help="End-to-end served-request latency (admission to response)",
+        )
+        self._queue_latency = self.registry.histogram(
+            "gc_server_queue_wait_seconds",
+            help="Seconds served requests waited in the admission queue",
+        )
+        self.registry.register_collector(lambda: system_samples(self.system))
+        self.registry.register_collector(lambda: batcher_samples(self.batcher))
+        self.registry.register_collector(
+            lambda: recorder_samples(self.span_recorder))
+        if getattr(self.system, "planner", None) is not None:
+            self.registry.register_collector(lambda: scatter_samples(self.system))
+        self.registry.register_collector(self._runtime_samples)
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -186,8 +243,81 @@ class QueryServer:
         envelope = ErrorEnvelope.from_exception(exc, request_id=request_id)
         return envelope.http_status, envelope.to_wire(version)
 
+    def _sampled(self) -> bool:
+        """One server-side sampling decision at ``trace_sample_rate``."""
+        rate = self.trace_sample_rate
+        if rate <= 0.0:
+            return False
+        if rate >= 1.0:
+            return True
+        return self._sample_rng.random() < rate
+
+    def _begin_request_trace(self, request) -> dict | None:
+        """Open the ``server.request`` span and re-root the request's trace.
+
+        A client-supplied context is always honoured (its span becomes the
+        parent); otherwise the server samples at ``trace_sample_rate`` and
+        starts a fresh trace.  The request's trace is rewritten so everything
+        downstream — queue, batch, plan, scatter, worker pipelines — parents
+        on this server span.
+        """
+        client = request.trace
+        if client is not None and not client.sampled:
+            return None
+        if client is None and not self._sampled():
+            return None
+        trace_id = client.trace_id if client is not None else new_trace_id()
+        span_id = new_span_id()
+        request.trace = TraceContext(trace_id=trace_id, span_id=span_id)
+        return {
+            "trace_id": trace_id,
+            "span_id": span_id,
+            "parent": client.span_id if client is not None else None,
+            "started_wall": time.time(),
+            "started": time.perf_counter(),
+            "token": current_trace_id.set(trace_id),
+        }
+
+    def _finish_request_trace(self, scope: dict | None, served=None,
+                              outcome: str = "ok") -> None:
+        """Close the server spans and complete the trace in the recorder."""
+        if scope is None:
+            return
+        current_trace_id.reset(scope["token"])
+        duration = time.perf_counter() - scope["started"]
+        spans = []
+        scatter = None
+        if served is not None:
+            # queue wait then batch execution, back to back under the
+            # server.request span — the gap between them is dispatch overhead
+            spans.append(Span(
+                trace_id=scope["trace_id"], span_id=new_span_id(),
+                name="server.queue", parent_span_id=scope["span_id"],
+                start=scope["started_wall"],
+                duration_seconds=served.queue_seconds,
+            ))
+            spans.append(Span(
+                trace_id=scope["trace_id"], span_id=new_span_id(),
+                name="server.batch", parent_span_id=scope["span_id"],
+                start=scope["started_wall"] + served.queue_seconds,
+                duration_seconds=served.report.total_seconds,
+                attributes={"batch_size": served.batch_size},
+            ))
+            plan = served.report.query.metadata.get("scatter")
+            if isinstance(plan, dict):
+                scatter = plan
+        spans.append(Span(
+            trace_id=scope["trace_id"], span_id=scope["span_id"],
+            name="server.request", parent_span_id=scope["parent"],
+            start=scope["started_wall"], duration_seconds=duration,
+            attributes={"outcome": outcome},
+        ))
+        self.span_recorder.record_many(spans)
+        self.span_recorder.complete(scope["trace_id"], duration, scatter=scatter)
+
     def serve_query(self, payload: dict) -> tuple[int, dict]:
         """Admit, batch and execute one query payload (v1 or v2 envelope)."""
+        started = time.perf_counter()
         try:
             request, version = parse_request(payload)
         except ProtocolError as exc:
@@ -197,23 +327,40 @@ class QueryServer:
             declared = payload.get("version", 1) if isinstance(payload, dict) else 1
             spoke_v2 = (isinstance(declared, int)
                         and not isinstance(declared, bool) and declared >= 2)
+            self._request_outcomes["protocol-error"].inc()
             return self._error(exc, PROTOCOL_VERSION if spoke_v2 else 1)
         self.recorder.record(request)
+        scope = self._begin_request_trace(request)
         try:
             future = self.batcher.submit(request)
         except Exception as exc:  # admission rejected / draining
+            self._request_outcomes["rejected"].inc()
+            self._finish_request_trace(scope, outcome="rejected")
             return self._error(exc, version, request.request_id)
         try:
             served = future.result(timeout=self.request_timeout_seconds)
         except FutureTimeoutError:
+            self._request_outcomes["timeout"].inc()
+            self._finish_request_trace(scope, outcome="timeout")
             envelope = ErrorEnvelope.timeout(
                 "query timed out in the serving pipeline",
                 request_id=request.request_id,
             )
             return envelope.http_status, envelope.to_wire(version)
         except Exception as exc:  # execution error inside the pipeline
+            self._request_outcomes["error"].inc()
+            self._finish_request_trace(scope, outcome="error")
+            logger.warning("query %s failed in the pipeline: %s: %s",
+                           request.request_id, type(exc).__name__, exc)
             return self._error(exc, version, request.request_id)
-        return 200, served.to_response(request_id=request.request_id).to_wire(version)
+        self._request_outcomes["ok"].inc()
+        self._request_latency.observe(time.perf_counter() - started)
+        self._queue_latency.observe(served.queue_seconds)
+        self._finish_request_trace(scope, served=served)
+        response = served.to_response(request_id=request.request_id)
+        if scope is not None:
+            response.trace_id = scope["trace_id"]
+        return 200, response.to_wire(version)
 
     def protocol(self) -> dict:
         """The ``/protocol`` payload: wire versions this server speaks."""
@@ -288,6 +435,94 @@ class QueryServer:
             "dataset_size": len(self.system.dataset),
         }
 
+    def _runtime_samples(self):
+        """Registry collector: uptime, worker liveness, async-pool gauges."""
+        yield Sample("gc_server_uptime_seconds", GAUGE,
+                     time.monotonic() - self._started_at,
+                     help="Seconds since the server started")
+        liveness = getattr(self.system, "worker_liveness", None)
+        if liveness is not None:
+            for row in liveness():
+                labels = {"shard": str(row.get("shard"))}
+                yield Sample("gc_worker_alive", GAUGE,
+                             1.0 if row.get("alive") else 0.0,
+                             help="1 when the shard's worker is live",
+                             labels=dict(labels))
+                yield Sample("gc_worker_respawns_total", COUNTER,
+                             float(row.get("respawns", 0)),
+                             help="Times the shard's worker was respawned",
+                             labels=dict(labels))
+        backend = getattr(self.system, "_process_backend", None)
+        if backend is not None:
+            for stats in backend.pool_stats():
+                yield from pool_samples(stats)
+
+    def health(self) -> dict:
+        """The ``/health`` payload: liveness plus per-worker detail.
+
+        ``status`` stays ``"ok"`` on a healthy system (probes key on it);
+        it degrades to ``"degraded"`` only when a shard worker is down.
+        """
+        payload: dict = {"status": "ok", "draining": self.batcher.closed}
+        liveness = getattr(self.system, "worker_liveness", None)
+        if liveness is not None:
+            rows = liveness()
+            payload["workers"] = rows
+            if any(not row.get("alive", True) for row in rows):
+                payload["status"] = "degraded"
+        self._forward_worker_logs()
+        return payload
+
+    def metrics_text(self) -> str:
+        """Prometheus-style text exposition (``GET /metrics?format=text``).
+
+        The coordinator's registry plus — for process-backed shards — each
+        worker's registry snapshot fanned in as ``shard="i"`` series.
+        """
+        fetch = getattr(self.system, "worker_registry_snapshots", None)
+        extra = fetch() if fetch is not None else []
+        return self.registry.render_text(extra=extra)
+
+    def debug_traces(self, params: dict) -> tuple[int, dict]:
+        """The ``/debug/traces`` payload: recent/slowest trees + exemplars.
+
+        ``?trace_id=`` fetches one tree; ``?sort=recent|slowest`` and
+        ``?count=N`` page the listing; slow-query exemplars always ride
+        along so a threshold breach is one GET away from its span tree.
+        """
+        recorder = self.span_recorder
+        trace_id = params.get("trace_id", [None])[0]
+        if trace_id:
+            tree = recorder.tree(trace_id)
+            if tree is None:
+                return 404, {"error": f"unknown trace_id {trace_id!r}"}
+            return 200, {"trace": tree}
+        sort = params.get("sort", ["recent"])[0]
+        if sort not in ("recent", "slowest"):
+            return 400, {"error": f"unknown sort {sort!r} (recent|slowest)"}
+        try:
+            count = int(params.get("count", ["10"])[0])
+        except ValueError:
+            return 400, {"error": "'count' must be an integer"}
+        count = max(1, min(count, 100))
+        traces = (recorder.recent(count) if sort == "recent"
+                  else recorder.slowest(count))
+        return 200, {
+            "sort": sort,
+            "traces": traces,
+            "exemplars": recorder.exemplars(),
+            "stats": recorder.stats(),
+        }
+
+    def _forward_worker_logs(self) -> None:
+        """Replay buffered worker warnings into the coordinator log stream."""
+        forward = getattr(self.system, "forward_worker_logs", None)
+        if forward is not None:
+            try:
+                forward()
+            except Exception as exc:  # a dying worker must not fail /health
+                logger.warning("worker log drain failed: %s", exc)
+
 
 def _make_handler(server: QueryServer) -> type[BaseHTTPRequestHandler]:
     """Build the request handler class bound to one :class:`QueryServer`."""
@@ -325,14 +560,22 @@ def _make_handler(server: QueryServer) -> type[BaseHTTPRequestHandler]:
             self._reply(status, body)
 
         def do_GET(self) -> None:
-            if self.path == "/metrics":
-                self._reply(200, server.metrics())
-            elif self.path == "/stats":
+            parsed = urlsplit(self.path)
+            params = parse_qs(parsed.query)
+            if parsed.path == "/metrics":
+                if params.get("format", [""])[0] == "text":
+                    self._reply_text(200, server.metrics_text())
+                else:
+                    self._reply(200, server.metrics())
+            elif parsed.path == "/stats":
                 self._reply(200, server.stats())
-            elif self.path == "/health":
-                self._reply(200, {"status": "ok"})
-            elif self.path == "/protocol":
+            elif parsed.path == "/health":
+                self._reply(200, server.health())
+            elif parsed.path == "/protocol":
                 self._reply(200, server.protocol())
+            elif parsed.path == "/debug/traces":
+                status, body = server.debug_traces(params)
+                self._reply(status, body)
             else:
                 self._reply(404, {"error": f"unknown path {self.path!r}"})
 
@@ -340,6 +583,14 @@ def _make_handler(server: QueryServer) -> type[BaseHTTPRequestHandler]:
             body = json.dumps(payload).encode("utf-8")
             self.send_response(status)
             self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def _reply_text(self, status: int, text: str) -> None:
+            body = text.encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "text/plain; version=0.0.4")
             self.send_header("Content-Length", str(len(body)))
             self.end_headers()
             self.wfile.write(body)

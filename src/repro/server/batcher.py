@@ -36,6 +36,7 @@ from typing import TYPE_CHECKING, Union
 
 from repro.api.envelopes import QueryRequest, QueryResponse
 from repro.errors import AdmissionRejectedError, ConfigurationError, ServerClosedError
+from repro.obs.logs import get_logger
 from repro.query_model import Query
 from repro.runtime.config import ADMISSION_MODES
 from repro.runtime.report import QueryReport
@@ -47,6 +48,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     AnySystem = Union[GraphCacheSystem, "ShardedGraphCacheSystem"]
 
 _STOP = object()
+
+logger = get_logger("server.batcher")
 
 
 @dataclass
@@ -332,6 +335,8 @@ class RequestBatcher:
                 max_workers=min(len(batch), self.batch_workers),
             )
         except Exception as exc:  # propagate to every caller in the batch
+            logger.error("batch of %d failed: %s: %s",
+                         len(batch), type(exc).__name__, exc)
             for pending in batch:
                 self._release_costs(pending)
                 pending.future.set_exception(exc)

@@ -131,6 +131,36 @@ class ScatterStats:
                 "per_shard_skipped": list(self.per_shard_skipped),
             }
 
+    def metrics_samples(self):
+        """These counters as registry :class:`~repro.obs.metrics.Sample`\\ s.
+
+        The unified telemetry registry scrapes this at ``/metrics`` time, so
+        the scatter planner shows up in the Prometheus text exposition with
+        the same numbers the JSON ``scatter`` section reports.
+        """
+        from repro.obs.metrics import COUNTER, GAUGE, Sample
+
+        stats = self.to_dict()
+        yield Sample("gc_scatter_queries_total", COUNTER, float(stats["queries"]),
+                     help="Queries planned by the scatter planner")
+        yield Sample("gc_scatter_mean_fanout", GAUGE, float(stats["mean_fanout"]),
+                     help="Mean shards scattered to per query")
+        yield Sample("gc_scatter_skip_rate", GAUGE, float(stats["skip_rate"]),
+                     help="Fraction of shard sub-queries pruned by summaries")
+        yield Sample("gc_scatter_summary_fallbacks_total", COUNTER,
+                     float(stats["summary_fallbacks"]),
+                     help="Plans that fell back to full scatter on an unusable summary")
+        for shard, scattered in enumerate(stats["per_shard_scattered"]):
+            yield Sample("gc_scatter_shard_scattered_total", COUNTER,
+                         float(scattered),
+                         help="Sub-queries scattered to each shard",
+                         labels={"shard": str(shard)})
+        for shard, skipped in enumerate(stats["per_shard_skipped"]):
+            yield Sample("gc_scatter_shard_skipped_total", COUNTER,
+                         float(skipped),
+                         help="Sub-queries pruned away from each shard",
+                         labels={"shard": str(shard)})
+
 
 class ScatterPlanner:
     """Summary-driven scatter planning over a fixed set of shards."""

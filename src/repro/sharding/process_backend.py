@@ -55,10 +55,15 @@ from repro.errors import (
 )
 from repro.graph.graph import Graph
 from repro.methods.base import MethodM
+from repro.obs.logs import get_logger
+from repro.obs.recorder import get_recorder
+from repro.obs.trace import TRACE_KEY, TraceContext
 from repro.query_model import Query, QueryType
 from repro.runtime.config import GCConfig
 from repro.runtime.report import QueryReport
 from repro.sharding.worker import report_from_wire, worker_main
+
+logger = get_logger("sharding.process")
 
 #: Seconds a spawned worker gets to build its index and report its port.
 DEFAULT_STARTUP_TIMEOUT = 120.0
@@ -349,6 +354,8 @@ class ProcessShardBackend:
                 raise cause if cause is not None else ShardWorkerError(
                     index, reason, self.respawns_performed)
             if self._respawns_left[index] <= 0:
+                logger.error("shard %d worker down (%s); respawn budget exhausted",
+                             index, reason)
                 raise ShardWorkerError(
                     index, f"{reason}; respawn budget exhausted",
                     self.respawns_performed,
@@ -363,6 +370,43 @@ class ProcessShardBackend:
                 raise
             self._handles[index] = self._make_handle(index, replacement, port, describe)
             self.respawns_performed += 1
+            logger.warning(
+                "shard %d worker respawned after crash (%s); "
+                "%d respawn(s) left for this shard",
+                index, reason, self._respawns_left[index],
+            )
+
+    # ------------------------------------------------------------------ #
+    # observability
+    # ------------------------------------------------------------------ #
+    def liveness(self) -> list[dict]:
+        """One row per worker: alive/pid/port plus respawn accounting."""
+        with self._lock:
+            handles = list(self._handles)
+            respawns_left = list(self._respawns_left)
+        return [
+            {
+                "shard": handle.index,
+                "backend": "process",
+                "alive": handle.process.is_alive(),
+                "pid": handle.process.pid,
+                "port": handle.port,
+                "respawns": self._respawn_limit - respawns_left[handle.index],
+                "respawns_left": respawns_left[handle.index],
+            }
+            for handle in handles
+        ]
+
+    def pool_stats(self) -> list[dict]:
+        """Per-worker async connection-pool telemetry (``shard`` stamped in)."""
+        with self._lock:
+            handles = list(self._handles)
+        stats = []
+        for handle in handles:
+            payload = dict(handle.service.pool_stats())
+            payload["shard"] = handle.index
+            stats.append(payload)
+        return stats
 
     # ------------------------------------------------------------------ #
     # shutdown
@@ -449,11 +493,15 @@ class ProcessShardClient:
 
     def _wire(self, query: Query) -> dict:
         # the live ScatterPlan stashed by cost-based admission is a
-        # coordinator-side object; everything else in metadata is JSON
+        # coordinator-side object; everything else in metadata is JSON.
+        # The trace carrier is lifted onto the envelope's own "trace"
+        # section — this is the loopback hop the trace context must survive
         metadata = {key: value for key, value in query.metadata.items()
-                    if key != "scatter_plan"}
+                    if key not in ("scatter_plan", TRACE_KEY)}
+        trace = TraceContext.from_wire(query.metadata.get(TRACE_KEY))
         request = QueryRequest(graph=query.graph, query_type=query.query_type,
-                               metadata=metadata, request_id=query.query_id)
+                               metadata=metadata, request_id=query.query_id,
+                               trace=trace)
         return request.to_wire(2)
 
     def _report_from(self, query: Query, status: int, payload: dict) -> QueryReport:
@@ -465,7 +513,12 @@ class ProcessShardClient:
             raise ProtocolError(
                 f"shard {self.index} worker response carries no 'report' section"
             )
-        return report_from_wire(query, section)
+        report = report_from_wire(query, section)
+        if report.spans:
+            # the worker recorded these in *its* process; replay them into
+            # the coordinator's recorder so the tree is whole on this side
+            get_recorder().record_many(report.spans)
+        return report
 
     def run_query(self, query: Query | Graph,
                   query_type: QueryType | str = QueryType.SUBGRAPH) -> QueryReport:
@@ -521,6 +574,19 @@ class ProcessShardClient:
     def remote_describe(self) -> dict:
         """A live ``/describe`` of the worker (cache population, memory)."""
         return self._backend.describe(self.index)
+
+    def registry_snapshot(self) -> dict:
+        """The worker's own :class:`MetricsRegistry` snapshot (for fan-in)."""
+        status, payload = self._backend.call(self.index, "GET", "/obs/registry")
+        if status != 200:
+            raise ServerError(
+                f"shard {self.index} /obs/registry replied {status}: {payload}"
+            )
+        return payload
+
+    def drain_logs(self) -> dict:
+        """Pop the worker's buffered warning/error log entries."""
+        return self._backend.admin(self.index, "/admin/logs/drain")
 
     def cache_memory_bytes(self) -> int:
         try:

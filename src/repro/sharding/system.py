@@ -40,6 +40,9 @@ from repro.errors import ConfigurationError
 from repro.features.paths import EdgeFeatureExtractor
 from repro.graph.graph import Graph
 from repro.methods.base import MethodM
+from repro.obs.logs import replay_entries
+from repro.obs.recorder import get_recorder
+from repro.obs.trace import TRACE_KEY, Span, context_from_carrier, new_span_id
 from repro.query_model import Query, QueryType
 from repro.runtime.config import DEFAULT_TEST_COST_SECONDS, GCConfig
 from repro.runtime.report import QueryReport
@@ -360,8 +363,10 @@ class ShardedGraphCacheSystem:
         if not query_list:
             return []
         plans = [self.plan_query(query) for query in query_list]
+        scopes = []
         for query, plan in zip(query_list, plans):
             query.metadata["scatter"] = plan.to_dict()
+            scopes.append(self._begin_trace_scope(query))
         # group the batch per shard: each shard only ever sees the queries
         # planned onto it (under full scatter that is the whole batch)
         shard_positions: list[list[int]] = [[] for _ in range(self.num_shards)]
@@ -389,6 +394,7 @@ class ShardedGraphCacheSystem:
                 [shard_reports[shard][offset_of[shard][position]]
                  for shard in plan.targets],
                 plan=plan,
+                trace_scope=scopes[position],
             )
             for position, (query, plan) in enumerate(zip(query_list, plans))
         ]
@@ -422,11 +428,78 @@ class ShardedGraphCacheSystem:
     def _scatter_one(self, query: Query, query_type: QueryType | str) -> QueryReport:
         plan = self.plan_query(query)
         query.metadata["scatter"] = plan.to_dict()
+        scope = self._begin_trace_scope(query)
         futures = [
             self._pool.submit(self.shards[shard].run_query, query, query_type)
             for shard in plan.targets
         ]
-        return self._merge(query, [future.result() for future in futures], plan=plan)
+        return self._merge(query, [future.result() for future in futures],
+                           plan=plan, trace_scope=scope)
+
+    # ------------------------------------------------------------------ #
+    # distributed tracing of the scatter-gather hop
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _begin_trace_scope(query: Query) -> dict | None:
+        """Open the per-query ``scatter`` span and reparent the carrier.
+
+        Every shard execution (thread pipeline or process worker) parents its
+        ``pipeline`` span on whatever span id rides in the metadata carrier —
+        so before scattering, the carrier's span id is rewritten to a fresh
+        scatter span id.  :meth:`_merge` records the scatter/plan/merge spans
+        under the *original* context and restores the carrier.
+        """
+        context = context_from_carrier(query.metadata)
+        if context is None:
+            return None
+        scatter_span_id = new_span_id()
+        scope = {
+            "context": context,
+            "scatter_span_id": scatter_span_id,
+            "carrier": query.metadata[TRACE_KEY],
+            "started_wall": time.time(),
+        }
+        query.metadata[TRACE_KEY] = {
+            "trace_id": context.trace_id,
+            "span_id": scatter_span_id,
+            "sampled": True,
+        }
+        return scope
+
+    @staticmethod
+    def _close_trace_scope(
+        scope: dict,
+        query: Query,
+        plan: ScatterPlan | None,
+        plan_seconds: float,
+        slowest: float,
+        merge_seconds: float,
+    ) -> list[Span]:
+        """The plan/scatter/merge spans of one gathered query (carrier restored)."""
+        query.metadata[TRACE_KEY] = scope["carrier"]
+        context = scope["context"]
+        started_wall = scope["started_wall"]
+        attributes: dict = {}
+        if plan is not None:
+            attributes = {"targets": list(plan.targets), "skipped": list(plan.skipped)}
+        spans = []
+        if plan_seconds > 0.0:
+            spans.append(Span(
+                trace_id=context.trace_id, span_id=new_span_id(),
+                parent_span_id=context.span_id, name=PLAN_STAGE,
+                start=started_wall - plan_seconds, duration_seconds=plan_seconds,
+            ))
+        spans.append(Span(
+            trace_id=context.trace_id, span_id=scope["scatter_span_id"],
+            parent_span_id=context.span_id, name="scatter",
+            start=started_wall, duration_seconds=slowest, attributes=attributes,
+        ))
+        spans.append(Span(
+            trace_id=context.trace_id, span_id=new_span_id(),
+            parent_span_id=context.span_id, name=MERGE_STAGE,
+            start=started_wall + slowest, duration_seconds=merge_seconds,
+        ))
+        return spans
 
     # ------------------------------------------------------------------ #
     # gather / merge
@@ -436,6 +509,7 @@ class ShardedGraphCacheSystem:
         query: Query,
         shard_reports: list[QueryReport],
         plan: ScatterPlan | None = None,
+        trace_scope: dict | None = None,
     ) -> QueryReport:
         """Merge per-shard reports into one deterministic report + record.
 
@@ -489,6 +563,17 @@ class ShardedGraphCacheSystem:
         #: Critical path: shards ran concurrently, so the merged wall time is
         #: the plan, the slowest scattered shard, and the gather/merge.
         merged.total_seconds = plan_seconds + slowest + merge_seconds
+        if trace_scope is not None:
+            scatter_spans = self._close_trace_scope(
+                trace_scope, query, plan, plan_seconds, slowest, merge_seconds
+            )
+            # shard-side pipeline spans are already in the recorder (thread
+            # shards record directly; process proxies re-record on gather) —
+            # only the scatter-level spans are new here
+            get_recorder().record_many(scatter_spans)
+            for report in shard_reports:
+                merged.spans.extend(report.spans)
+            merged.spans.extend(scatter_spans)
         self.statistics.record(self._record_from(merged))
         return merged
 
@@ -614,6 +699,64 @@ class ShardedGraphCacheSystem:
                         row["cache"] = remote["cache"]
             rows.append(row)
         return rows
+
+    def worker_liveness(self) -> list[dict]:
+        """One liveness row per shard (process-backend rows carry pid/respawns).
+
+        Thread shards live in this process, so they are alive iff we are;
+        process rows come from the backend supervisor and can report a dead
+        worker before the next query trips over it — the ``/health``
+        degradation signal load balancers watch.
+        """
+        if self._process_backend is not None:
+            return self._process_backend.liveness()
+        return [
+            {"shard": index, "backend": "thread", "alive": True, "respawns": 0}
+            for index in range(self.num_shards)
+        ]
+
+    def worker_registry_snapshots(self) -> list[tuple[dict, dict]]:
+        """``({"shard": i}, registry snapshot)`` per process worker.
+
+        The coordinator's ``/metrics?format=text`` fans these into its own
+        exposition as distinct labelled series.  A worker that cannot answer
+        (mid-respawn) is skipped — a scrape never fails on a dying shard.
+        """
+        snapshots: list[tuple[dict, dict]] = []
+        for index, shard in enumerate(self.shards):
+            fetch = getattr(shard, "registry_snapshot", None)
+            if fetch is None:
+                continue
+            try:
+                snapshot = fetch()
+            except Exception:
+                continue
+            if isinstance(snapshot, dict):
+                snapshots.append(({"shard": str(index)}, snapshot))
+        return snapshots
+
+    def forward_worker_logs(self) -> int:
+        """Drain buffered worker warnings/errors into this process's log.
+
+        Returns the number of entries forwarded; thread shards (which log
+        here directly) contribute nothing.
+        """
+        forwarded = 0
+        for index, shard in enumerate(self.shards):
+            drain = getattr(shard, "drain_logs", None)
+            if drain is None:
+                continue
+            try:
+                payload = drain()
+            except Exception:
+                continue
+            if not isinstance(payload, dict):
+                continue
+            entries = payload.get("entries", []) or []
+            replay_entries(entries, f"shard{index}",
+                           dropped=int(payload.get("dropped", 0) or 0))
+            forwarded += len(entries)
+        return forwarded
 
     def describe(self) -> dict[str, object]:
         """Full description of the sharded deployment (for reports)."""

@@ -28,7 +28,9 @@ graceful shutdown.
 from __future__ import annotations
 
 import json
+import logging
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro import __version__
@@ -41,10 +43,17 @@ from repro.api.envelopes import (
     parse_request,
 )
 from repro.cache.statistics import json_safe
+from repro.obs.collectors import recorder_samples, system_samples
+from repro.obs.logs import BufferedLogHandler, current_trace_id, get_logger
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.recorder import get_recorder
+from repro.obs.trace import TRACE_KEY, Span
 from repro.query_model import Query
 from repro.runtime.config import GCConfig
 from repro.runtime.report import QueryReport
 from repro.runtime.system import GraphCacheSystem
+
+logger = get_logger("sharding.worker")
 
 
 # ---------------------------------------------------------------------- #
@@ -76,6 +85,9 @@ def report_to_wire(report: QueryReport) -> dict:
         "baseline_tests": report.baseline_tests,
         "baseline_seconds": report.baseline_seconds,
         "stage_seconds": dict(report.stage_seconds),
+        # additive: the worker-side span subtree of a traced query, so the
+        # coordinator's recorder sees one coherent cross-process tree
+        "spans": [span.to_dict() for span in report.spans],
     })
 
 
@@ -102,6 +114,8 @@ def report_from_wire(query: Query, payload: dict) -> QueryReport:
         baseline_tests=int(payload.get("baseline_tests", 0)),
         baseline_seconds=payload.get("baseline_seconds"),
         stage_seconds=dict(payload.get("stage_seconds", {})),
+        spans=[Span.from_dict(span) for span in payload.get("spans", [])
+               if isinstance(span, dict)],
     )
 
 
@@ -118,9 +132,24 @@ class _WorkerHTTPServer(ThreadingHTTPServer):
 class ShardWorkerApp:
     """HTTP-agnostic request handling for one shard worker."""
 
-    def __init__(self, system: GraphCacheSystem, shard_index: int) -> None:
+    def __init__(self, system: GraphCacheSystem, shard_index: int,
+                 log_handler: BufferedLogHandler | None = None) -> None:
         self.system = system
         self.shard_index = shard_index
+        #: The worker's buffered warning/error log, drained by the
+        #: coordinator over ``POST /admin/logs/drain``.
+        self.log_handler = log_handler
+        #: This worker's own telemetry registry, fanned into the
+        #: coordinator's text exposition under a ``shard`` label.
+        self.registry = MetricsRegistry()
+        self._requests = self.registry.counter(
+            "worker_requests_total", help="Envelope queries served by this worker")
+        self._request_errors = self.registry.counter(
+            "worker_request_errors_total", help="Envelope queries that failed")
+        self._latency = self.registry.histogram(
+            "worker_query_seconds", help="Worker-side query latency")
+        self.registry.register_collector(lambda: system_samples(self.system))
+        self.registry.register_collector(lambda: recorder_samples(get_recorder()))
 
     def describe(self) -> dict:
         """Everything the coordinator mirrors about this worker's system."""
@@ -148,13 +177,30 @@ class ShardWorkerApp:
         try:
             request, version = parse_request(payload)
         except Exception as exc:
+            self._request_errors.inc()
             envelope = ErrorEnvelope.from_exception(exc)
             return envelope.http_status, envelope.to_wire(PROTOCOL_VERSION)
+        self._requests.inc()
+        query = request.to_query()
+        carrier = query.metadata.get(TRACE_KEY)
+        trace_token = None
+        if isinstance(carrier, dict):
+            # attribute this shard's pipeline spans and log lines to itself
+            carrier["shard"] = self.shard_index
+            trace_token = current_trace_id.set(str(carrier.get("trace_id") or "") or None)
+        started = time.perf_counter()
         try:
-            report = self.system.run_query(request.to_query())
+            report = self.system.run_query(query)
         except Exception as exc:
+            self._request_errors.inc()
+            logger.error("shard %d query failed: %s: %s",
+                         self.shard_index, type(exc).__name__, exc)
             envelope = ErrorEnvelope.from_exception(exc, request_id=request.request_id)
             return envelope.http_status, envelope.to_wire(version)
+        finally:
+            self._latency.observe(time.perf_counter() - started)
+            if trace_token is not None:
+                current_trace_id.reset(trace_token)
         response = QueryResponse.from_report(report, request_id=request.request_id)
         wire = response.to_wire(version)
         if version >= 2:
@@ -179,6 +225,10 @@ class ShardWorkerApp:
             if not isinstance(target, str) or not target:
                 return 400, {"error": "'path' must be a non-empty string"}
             return 200, {"entries": self.system.restore_snapshot(target)}
+        if path == "/admin/logs/drain":
+            if self.log_handler is None:
+                return 200, {"entries": [], "dropped": 0}
+            return 200, self.log_handler.drain()
         return 404, {"error": f"unknown path {path!r}"}
 
 
@@ -226,6 +276,8 @@ def _make_handler(app: ShardWorkerApp, httpd: _WorkerHTTPServer) -> type[BaseHTT
                 self._reply(200, app.describe())
             elif self.path == "/metrics":
                 self._reply(200, MetricsSnapshot.from_system(app.system).to_wire())
+            elif self.path == "/obs/registry":
+                self._reply(200, app.registry.snapshot())
             else:
                 self._reply(404, {"error": f"unknown path {self.path!r}"})
 
@@ -263,11 +315,19 @@ def worker_main(
     from repro.graph.graph import Graph  # deferred: after spawn bootstrap
 
     try:
+        # buffer warnings/errors for the coordinator to drain and re-emit —
+        # a spawned worker's stderr is otherwise lost
+        log_handler = BufferedLogHandler()
+        logging.getLogger("repro").addHandler(log_handler)
         dataset = [Graph.from_dict(payload) for payload in dataset_payload]
         config = GCConfig.from_dict(config_payload)
+        get_recorder().configure(
+            buffer_size=config.trace_buffer_size,
+            slow_threshold_seconds=config.slow_query_threshold_s,
+        )
         method = method_factory() if method_factory is not None else None
         system = GraphCacheSystem(dataset, config, method=method)
-        app = ShardWorkerApp(system, shard_index)
+        app = ShardWorkerApp(system, shard_index, log_handler=log_handler)
         httpd = _WorkerHTTPServer(("127.0.0.1", 0), None)
         httpd.RequestHandlerClass = _make_handler(app, httpd)
     except Exception as exc:
