@@ -49,7 +49,7 @@ from repro.errors import ProtocolError, ServerError, WorkloadError
 from repro.obs.recorder import get_recorder
 from repro.obs.trace import Span, TraceContext, new_span_id, new_trace_id
 from repro.query_model import QueryType
-from repro.workload.replay import ReplayEvent, ReplayResult
+from repro.workload.replay import ReplayEvent, ReplayResult, with_serving_fields
 from repro.workload.workload import Workload
 
 
@@ -384,6 +384,107 @@ class AsyncRemoteGraphService:
         items = await asyncio.gather(*(execute(request) for request in requests))
         return BatchResult(items=list(items))
 
+    async def stream_batch(self, queries, deadline_seconds: float | None = None,
+                           priority: int | None = None):
+        """Submit a whole batch over one ``POST /batch``; yield as they finish.
+
+        The async twin of :meth:`RemoteGraphService.stream_batch`: one
+        connection, one submission round-trip, per-query NDJSON lines back
+        in the server's completion order, yielded as ``(index, outcome)``
+        pairs.  The response is framed by connection close, so the
+        connection is checked out of the pool for the whole stream and
+        dropped (never re-parked) afterwards.
+        """
+        version = await self._protocol_version()
+        if version < 2:
+            raise ProtocolError(
+                "streamed batch submission needs protocol v2; "
+                "the server only speaks v1"
+            )
+        requests = []
+        for query in queries:
+            request = as_request(query)
+            if deadline_seconds is not None and request.deadline_seconds is None:
+                request.deadline_seconds = deadline_seconds
+            if priority is not None and not request.priority:
+                request.priority = priority
+            requests.append(request)
+        body = json.dumps({
+            "version": version,
+            "queries": [request.to_wire(version) for request in requests],
+        }).encode("utf-8")
+        connection = await self._acquire()
+        self.in_flight += 1
+        self.peak_in_flight = max(self.peak_in_flight, self.in_flight)
+        try:
+            head = (
+                f"POST /batch HTTP/1.1\r\nHost: {self.host}:{self.port}\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n\r\n"
+            ).encode("ascii")
+            connection.writer.write(head + body)
+            await connection.writer.drain()
+            status_line = await asyncio.wait_for(
+                connection.reader.readline(), timeout=self.timeout)
+            parts = status_line.split(None, 2)
+            if len(parts) < 2 or not parts[0].startswith(b"HTTP/"):
+                raise ProtocolError(f"malformed HTTP status line: {status_line!r}")
+            status = int(parts[1])
+            headers: dict[str, str] = {}
+            while True:
+                line = await asyncio.wait_for(
+                    connection.reader.readline(), timeout=self.timeout)
+                if line in (b"\r\n", b"\n"):
+                    break
+                if not line:
+                    raise ConnectionError("connection closed mid-headers")
+                name, _, value = line.decode("latin-1").partition(":")
+                headers[name.strip().lower()] = value.strip()
+            if status != 200:
+                length = int(headers.get("content-length", "0"))
+                data = (await connection.reader.readexactly(length)
+                        if length else b"")
+                payload = json.loads(data) if data else {}
+                outcome = parse_response(payload, http_status=status)
+                if isinstance(outcome, ErrorEnvelope):
+                    raise outcome.to_exception()
+                raise ServerError(f"/batch replied {status}: {payload}")
+            self.requests_sent += 1
+            while True:
+                line = await asyncio.wait_for(
+                    connection.reader.readline(), timeout=self.timeout)
+                if not line:  # EOF: server closed — the batch is complete
+                    break
+                line = line.strip()
+                if not line:
+                    continue
+                payload = json.loads(line)
+                index = payload.pop("index", None)
+                if not isinstance(index, int):
+                    raise ProtocolError(
+                        f"batch result line without an index: {payload!r}")
+                yield index, parse_response(payload)
+        finally:
+            self.in_flight -= 1
+            self._discard(connection)  # close-framed: never reuse
+            self._semaphore().release()
+
+    async def run_batch_streamed(self, queries,
+                                 deadline_seconds: float | None = None,
+                                 priority: int | None = None) -> BatchResult:
+        """:meth:`stream_batch`, gathered back into submission order."""
+        queries = list(queries)
+        items: list = [None] * len(queries)
+        async for index, outcome in self.stream_batch(
+                queries, deadline_seconds=deadline_seconds, priority=priority):
+            if 0 <= index < len(items):
+                items[index] = outcome
+        for index, item in enumerate(items):
+            if item is None:  # the server never answered this index
+                items[index] = ErrorEnvelope.from_exception(
+                    ServerError(f"no batch result line for index {index}"))
+        return BatchResult(items=items)
+
     async def metrics(self) -> MetricsSnapshot:
         return MetricsSnapshot.from_wire(await self._ok("GET", "/metrics"))
 
@@ -429,6 +530,8 @@ async def replay_trace_async(
     target_qps: float | None = None,
     concurrency: int | None = None,
     warm_connections: int | None = None,
+    deadline_seconds: float | None = None,
+    priority_mix: str | list[tuple[int, float]] | None = None,
 ) -> ReplayResult:
     """Replay ``trace`` through the async client, one task per query.
 
@@ -440,10 +543,14 @@ async def replay_trace_async(
     ``concurrency`` bounds in-flight queries (default: the pool size);
     ``warm_connections`` pre-opens that many keep-alive connections before
     the clock starts, so the run *holds* them for its whole duration.
+    ``deadline_seconds``/``priority_mix`` stamp the v2 serving fields on
+    every request exactly as in the sync replay (same deterministic
+    priority assignment).
     """
     if target_qps is not None and target_qps <= 0:
         raise WorkloadError("target_qps must be positive (or None for closed-loop)")
-    queries = list(trace)
+    queries = with_serving_fields(list(trace), deadline_seconds=deadline_seconds,
+                                  priority_mix=priority_mix)
     limit = service.max_connections if concurrency is None else concurrency
     if limit < 1:
         raise WorkloadError("concurrency must be at least 1")
@@ -460,6 +567,7 @@ async def replay_trace_async(
                 await asyncio.sleep(delay)
         async with gate:
             sent = time.perf_counter()
+            priority = getattr(queries[index], "priority", None)
             try:
                 status, payload = await service.send(queries[index])
             except Exception as exc:  # transport failure, not a server verdict
@@ -467,6 +575,7 @@ async def replay_trace_async(
                     index=index, status=-1,
                     latency_seconds=time.perf_counter() - sent,
                     error=f"{type(exc).__name__}: {exc}",
+                    priority=priority,
                 )
                 return
             latency = time.perf_counter() - sent
@@ -480,6 +589,7 @@ async def replay_trace_async(
                 batch_size=server_meta.get("batch_size"),
                 queue_seconds=server_meta.get("queue_seconds"),
                 error=None if status == 200 else wire_error_message(payload),
+                priority=priority,
             )
 
     await asyncio.gather(*(one(index) for index in range(len(queries))))
@@ -501,6 +611,8 @@ def replay_trace_async_blocking(
     max_connections: int = 1024,
     warm_connections: int | None = None,
     timeout: float = 60.0,
+    deadline_seconds: float | None = None,
+    priority_mix: str | list[tuple[int, float]] | None = None,
 ) -> ReplayResult:
     """Sync entry point for the async replay (builds its own event loop)."""
 
@@ -511,6 +623,8 @@ def replay_trace_async_blocking(
             return await replay_trace_async(
                 service, trace, target_qps=target_qps,
                 warm_connections=warm_connections,
+                deadline_seconds=deadline_seconds,
+                priority_mix=priority_mix,
             )
 
     return asyncio.run(main())

@@ -102,6 +102,15 @@ class QueryRequest:
     #: ``"trace"`` section of the v2 envelope (never emitted on v1, so legacy
     #: clients and recorded traces are unaffected).
     trace: TraceContext | None = None
+    #: Optional per-query deadline budget in seconds, measured from server
+    #: admission.  The batcher sheds the query (typed ``timeout``/504) once
+    #: the budget expires instead of executing dead work.  Additive v2-only
+    #: wire key; v1 payloads never carry it.
+    deadline_seconds: float | None = None
+    #: Scheduling priority (higher = more urgent; default 0).  The batcher
+    #: orders its queue by priority band, earliest deadline first within a
+    #: band.  Additive v2-only wire key.
+    priority: int = 0
 
     def __post_init__(self) -> None:
         self.query_type = QueryType.parse(self.query_type)
@@ -141,6 +150,10 @@ class QueryRequest:
             payload["request_id"] = self.request_id
         if self.trace is not None:
             payload["trace"] = self.trace.to_wire()
+        if self.deadline_seconds is not None:
+            payload["deadline_seconds"] = self.deadline_seconds
+        if self.priority:
+            payload["priority"] = self.priority
         return payload
 
     @classmethod
@@ -159,6 +172,7 @@ def parse_request(payload: object) -> tuple[QueryRequest, int]:
     version = detect_version(payload)
     if version == 1:
         body, request_id, trace = payload, None, None
+        deadline_seconds, priority = None, 0
     else:
         body = payload.get("query")
         if not isinstance(body, dict):
@@ -168,6 +182,16 @@ def parse_request(payload: object) -> tuple[QueryRequest, int]:
             raise ProtocolError("'request_id' must be a string or integer")
         # lenient by design: a malformed trace section reads as "untraced"
         trace = TraceContext.from_wire(payload.get("trace"))
+        deadline_seconds = payload.get("deadline_seconds")
+        if deadline_seconds is not None:
+            if (not isinstance(deadline_seconds, (int, float))
+                    or isinstance(deadline_seconds, bool)
+                    or deadline_seconds <= 0):
+                raise ProtocolError("'deadline_seconds' must be a positive number")
+            deadline_seconds = float(deadline_seconds)
+        priority = payload.get("priority", 0)
+        if not isinstance(priority, int) or isinstance(priority, bool):
+            raise ProtocolError("'priority' must be an integer")
     if "graph" not in body:
         raise ProtocolError("request has no 'graph' field")
     try:
@@ -183,7 +207,8 @@ def parse_request(payload: object) -> tuple[QueryRequest, int]:
         raise ProtocolError("'metadata' must be a JSON object")
     request = QueryRequest(graph=graph, query_type=query_type,
                            metadata=dict(metadata), request_id=request_id,
-                           trace=trace)
+                           trace=trace, deadline_seconds=deadline_seconds,
+                           priority=priority)
     return request, version
 
 

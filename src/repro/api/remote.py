@@ -254,6 +254,81 @@ class RemoteGraphService:
                     exc, request_id=request.request_id))
         return BatchResult(items=items)
 
+    def stream_batch(self, queries, deadline_seconds: float | None = None,
+                     priority: int | None = None):
+        """Submit a whole batch over one ``POST /batch``; yield as they finish.
+
+        One connection, one submission round-trip; per-query NDJSON result
+        lines stream back in the *server's completion order* and are yielded
+        as ``(index, QueryResponse | ErrorEnvelope)`` pairs, ``index`` being
+        the query's position in ``queries``.  ``deadline_seconds`` /
+        ``priority`` apply to every query that doesn't already carry its
+        own.  Uses a dedicated connection (the response is framed by
+        connection close, so the thread-local keep-alive one stays usable).
+        """
+        version = self.protocol_version
+        if version < 2:
+            raise ProtocolError(
+                "streamed batch submission needs protocol v2; "
+                "the server only speaks v1"
+            )
+        requests = []
+        for query in queries:
+            request = as_request(query)
+            if deadline_seconds is not None and request.deadline_seconds is None:
+                request.deadline_seconds = deadline_seconds
+            if priority is not None and not request.priority:
+                request.priority = priority
+            requests.append(request)
+        body = json.dumps({
+            "version": version,
+            "queries": [request.to_wire(version) for request in requests],
+        }).encode("utf-8")
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            connection.request("POST", "/batch", body=body,
+                               headers={"Content-Type": "application/json"})
+            response = connection.getresponse()
+            if response.status != 200:
+                data = response.read()
+                payload = json.loads(data) if data else {}
+                outcome = parse_response(payload, http_status=response.status)
+                if isinstance(outcome, ErrorEnvelope):
+                    raise outcome.to_exception()
+                raise ServerError(f"/batch replied {response.status}: {payload}")
+            while True:
+                line = response.readline()
+                if not line:  # EOF: the server closed — the batch is complete
+                    break
+                line = line.strip()
+                if not line:
+                    continue
+                payload = json.loads(line)
+                index = payload.pop("index", None)
+                if not isinstance(index, int):
+                    raise ProtocolError(f"batch result line without an index: "
+                                        f"{payload!r}")
+                yield index, parse_response(payload)
+        finally:
+            connection.close()
+
+    def run_batch_streamed(self, queries, deadline_seconds: float | None = None,
+                           priority: int | None = None) -> BatchResult:
+        """:meth:`stream_batch`, gathered back into submission order."""
+        queries = list(queries)
+        items: list = [None] * len(queries)
+        for index, outcome in self.stream_batch(
+                queries, deadline_seconds=deadline_seconds, priority=priority):
+            if 0 <= index < len(items):
+                items[index] = outcome
+        for index, item in enumerate(items):
+            if item is None:  # the server never answered this index
+                items[index] = ErrorEnvelope.from_exception(
+                    ServerError(f"no batch result line for index {index}"))
+        return BatchResult(items=items)
+
     def metrics(self) -> MetricsSnapshot:
         return MetricsSnapshot.from_wire(self._ok("GET", "/metrics"))
 

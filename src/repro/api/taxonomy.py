@@ -49,6 +49,7 @@ DETAIL_ATTRIBUTES = (
     "shard",
     "estimated_cost_seconds",
     "respawns",
+    "deadline_seconds",
 )
 
 #: The taxonomy, ordered most-specific-first: :func:`rule_for` returns the
@@ -56,6 +57,7 @@ DETAIL_ATTRIBUTES = (
 ERROR_TABLE: tuple[ErrorRule, ...] = (
     # serving: transient verdicts a client is expected to handle
     ErrorRule(_errors.AdmissionRejectedError, "admission-rejected", 429, retryable=True),
+    ErrorRule(_errors.DeadlineExceededError, "timeout", 504, retryable=True),
     ErrorRule(_errors.ShardWorkerError, "shard-worker", 503, retryable=True),
     ErrorRule(_errors.ServerClosedError, "server-closed", 503, retryable=True),
     ErrorRule(_errors.RecordingStateError, "recording-state", 409),
@@ -83,10 +85,15 @@ ERROR_TABLE: tuple[ErrorRule, ...] = (
     ErrorRule(GraphCacheError, "internal", 500),
 )
 
-#: Codes that exist on the wire without a :mod:`repro.errors` class behind
-#: them; both reconstruct to :class:`ServerError` on the client.
-TIMEOUT_CODE = "timeout"  # the serving pipeline missed its deadline (504)
-UNKNOWN_CODE = "unexpected"  # a non-library exception escaped the pipeline
+#: The wire code of a missed deadline (HTTP 504).  Historically a "codeless
+#: code" with no class behind it; it is now backed by
+#: :class:`~repro.errors.DeadlineExceededError`, so clients get the typed
+#: exception while the wire shape stays exactly what pre-deadline servers
+#: spoke.
+TIMEOUT_CODE = "timeout"
+#: A code with no :mod:`repro.errors` class behind it (a non-library
+#: exception escaped the pipeline); reconstructs to :class:`ServerError`.
+UNKNOWN_CODE = "unexpected"
 
 _FALLBACK_RULE = ErrorRule(GraphCacheError, UNKNOWN_CODE, 500)
 
@@ -102,7 +109,7 @@ def rule_for(exc: BaseException) -> ErrorRule:
 
 
 def rule_for_code(code: str) -> ErrorRule | None:
-    """The taxonomy row behind a wire code (None for timeout/unexpected)."""
+    """The taxonomy row behind a wire code (None for unexpected codes)."""
     return _BY_CODE.get(code)
 
 
@@ -129,7 +136,7 @@ def reconstruct(code: str, message: str, details: dict | None = None) -> GraphCa
     the request batcher's shard-blame handling read.
     """
     rule = _BY_CODE.get(code)
-    if rule is None or rule.code in (TIMEOUT_CODE, UNKNOWN_CODE):
+    if rule is None or rule.code == UNKNOWN_CODE:
         return ServerError(message)
     cls = rule.exception
     if not issubclass(cls, GraphCacheError):  # pragma: no cover - table invariant

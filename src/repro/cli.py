@@ -187,6 +187,13 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--connections", type=int, default=512,
                          help="connection pool size of the async client "
                               "(pre-opened before the clock starts)")
+    loadgen.add_argument("--deadline-ms", type=float, default=None,
+                         help="per-query deadline in milliseconds; the server "
+                              "sheds queries it cannot start in time (504s "
+                              "count as timeouts, not errors)")
+    loadgen.add_argument("--priority-mix", default=None,
+                         help="weighted priority bands, e.g. '0:0.8,10:0.2' — "
+                              "each query draws a band deterministically")
 
     trace = subparsers.add_parser(
         "trace", help="fetch and pretty-print span trees from /debug/traces")
@@ -382,6 +389,8 @@ def cmd_loadgen(args) -> int:
         if args.save_trace is not None:
             trace.save(args.save_trace)
             print(f"trace saved to {args.save_trace}")
+    deadline_seconds = (args.deadline_ms / 1000.0
+                        if args.deadline_ms is not None else None)
     client = RemoteGraphService(args.host, args.port)
     client.health()  # fail fast when no server is listening
     if args.async_client:
@@ -394,10 +403,14 @@ def cmd_loadgen(args) -> int:
             args.host, args.port, trace, target_qps=args.qps,
             max_connections=args.connections,
             warm_connections=min(args.connections, len(trace)),
+            deadline_seconds=deadline_seconds,
+            priority_mix=args.priority_mix,
         )
     else:
         result = replay_trace(client, trace, target_qps=args.qps,
-                              num_threads=args.threads)
+                              num_threads=args.threads,
+                              deadline_seconds=deadline_seconds,
+                              priority_mix=args.priority_mix)
     print(format_table([result.summary()]))
     return 0 if result.errors == 0 else 1
 

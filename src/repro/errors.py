@@ -154,6 +154,23 @@ class ShardWorkerError(ServerError):
         self.respawns = respawns
 
 
+class DeadlineExceededError(ServerError):
+    """A query's deadline expired before (or while) the pipeline served it.
+
+    Raised by the request batcher when it sheds an expired entry at
+    batch-build time instead of executing dead work, and reconstructed on
+    the client from the wire ``timeout`` code (HTTP 504) — the same code the
+    server's request-timeout path has always spoken, so pre-deadline clients
+    need no changes.  Retryable: a fresh attempt with a fresh deadline may
+    well succeed once the queue drains.
+    """
+
+    def __init__(self, message: str = "query deadline exceeded",
+                 deadline_seconds: float | None = None) -> None:
+        super().__init__(message)
+        self.deadline_seconds = deadline_seconds
+
+
 class ServerClosedError(ServerError):
     """A request arrived while the server/batcher was draining or stopped."""
 

@@ -42,9 +42,24 @@ def scatter_samples(system) -> Iterator[Sample]:
     """Samples from a sharded system's scatter planner statistics.
 
     The shapes live on :meth:`ScatterStats.metrics_samples` — the planner
-    owns its counters, the registry just scrapes them.
+    owns its counters, the registry just scrapes them.  Straggler-hedging
+    counters ride along when the system exposes them.
     """
     yield from system.planner.stats.metrics_samples()
+    hedge_stats = getattr(system, "hedge_stats", None)
+    if hedge_stats is None:
+        return
+    hedging = hedge_stats()
+    yield Sample("gc_scatter_hedges_total", COUNTER,
+                 float(hedging.get("hedges_issued", 0)),
+                 help="Hedge attempts issued against straggler shards")
+    yield Sample("gc_scatter_hedge_wins_total", COUNTER,
+                 float(hedging.get("hedge_wins", 0)),
+                 help="Hedge attempts that beat the primary shard attempt")
+    delay = hedging.get("delay_seconds")
+    if delay is not None:
+        yield Sample("gc_scatter_hedge_delay_seconds", GAUGE, float(delay),
+                     help="Straggler hedge delay currently in force")
 
 
 def batcher_samples(batcher) -> Iterator[Sample]:
@@ -63,6 +78,11 @@ def batcher_samples(batcher) -> Iterator[Sample]:
                  help="Requests served successfully")
     yield Sample("gc_server_failed_total", COUNTER, float(stats.failed),
                  help="Requests that failed inside a batch")
+    for reason, value in (("expired", stats.shed_expired),
+                          ("abandoned", stats.shed_abandoned)):
+        yield Sample("gc_server_shed_total", COUNTER, float(value),
+                     help="Admitted requests shed before execution (dead work)",
+                     labels={"reason": reason})
     yield Sample("gc_server_batches_total", COUNTER, float(stats.batches),
                  help="Batches executed")
     yield Sample("gc_server_largest_batch", GAUGE, float(stats.largest_batch),

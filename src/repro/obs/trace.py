@@ -27,6 +27,29 @@ from dataclasses import dataclass, field
 #: Reserved ``Query.metadata`` key carrying the trace context in process.
 TRACE_KEY = "trace"
 
+#: One per-process clock anchor pairing a wall-clock reading with the
+#: perf_counter reading taken at the same instant.  Every span start is
+#: derived from this single pair — wall-clock time is read exactly once per
+#: process, so sibling spans whose durations came from ``perf_counter`` can
+#: never reorder against each other just because ``time.time()`` was sampled
+#: at different moments (NTP steps, coarse wall ticks).
+_ANCHOR_WALL = time.time()
+_ANCHOR_PERF = time.perf_counter()
+
+
+def wall_at(perf_time: float) -> float:
+    """The wall-clock stamp of a ``time.perf_counter()`` reading.
+
+    Derived from the process-wide anchor, so two stamps differ by exactly
+    their monotonic offset — the property span ordering relies on.
+    """
+    return _ANCHOR_WALL + (perf_time - _ANCHOR_PERF)
+
+
+def wall_now() -> float:
+    """``wall_at(time.perf_counter())``: an anchored "now" for span starts."""
+    return wall_at(time.perf_counter())
+
 
 def new_trace_id() -> str:
     """A fresh 32-hex trace id."""
@@ -137,7 +160,7 @@ def make_span(
         span_id=span_id or new_span_id(),
         parent_span_id=context.span_id if parent_span_id is None else parent_span_id,
         name=name,
-        start=time.time() - duration_seconds if start is None else start,
+        start=wall_now() - duration_seconds if start is None else start,
         duration_seconds=duration_seconds,
         attributes=dict(attributes or {}),
     )
@@ -160,7 +183,7 @@ def pipeline_spans(carrier: dict, stage_seconds: dict[str, float],
     shard = carrier.get("shard")
     if shard is not None:
         attributes["shard"] = shard
-    end_wall = time.time()
+    end_wall = wall_now()
     root = make_span(context, "pipeline", total_seconds,
                      start=end_wall - total_seconds, attributes=attributes)
     spans = [root]

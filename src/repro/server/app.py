@@ -14,6 +14,9 @@ message-string parsing).  Endpoints:
   with the answer set and per-stage latency.  ``429`` when admission rejects
   (the envelope names the hot shard under cost-based mode), ``400`` on
   malformed payloads, ``503`` while draining, ``504`` on timeout.
+* ``POST /batch``        — streamed batch submission: many envelopes over
+  one connection, per-query NDJSON result lines back in *completion* order
+  (connection-close framing).  Per-item errors use the same taxonomy.
 * ``GET /protocol``      — version negotiation: the wire versions served.
 * ``POST /record/start`` / ``POST /record/stop`` — server-side trace
   recording: persist the live request stream as a replayable trace.
@@ -42,7 +45,9 @@ import random
 import threading
 import time
 import uuid
+from concurrent.futures import FIRST_COMPLETED
 from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures import wait as futures_wait
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from urllib.parse import parse_qs, urlsplit
@@ -57,7 +62,7 @@ from repro.api.envelopes import (
 )
 from repro.api.recording import TraceRecorder
 from repro.cache.statistics import json_safe
-from repro.errors import ProtocolError, RecordingStateError
+from repro.errors import DeadlineExceededError, ProtocolError, RecordingStateError
 from repro.graph.graph import Graph
 from repro.methods.base import MethodM
 from repro.obs.collectors import (
@@ -70,7 +75,7 @@ from repro.obs.collectors import (
 from repro.obs.logs import current_trace_id, get_logger
 from repro.obs.metrics import COUNTER, GAUGE, MetricsRegistry, Sample
 from repro.obs.recorder import configure_recorder
-from repro.obs.trace import Span, TraceContext, new_span_id, new_trace_id
+from repro.obs.trace import Span, TraceContext, new_span_id, new_trace_id, wall_at
 from repro.runtime.config import GCConfig
 from repro.server.batcher import RequestBatcher
 from repro.sharding import make_system
@@ -269,12 +274,16 @@ class QueryServer:
         trace_id = client.trace_id if client is not None else new_trace_id()
         span_id = new_span_id()
         request.trace = TraceContext(trace_id=trace_id, span_id=span_id)
+        started = time.perf_counter()
         return {
             "trace_id": trace_id,
             "span_id": span_id,
             "parent": client.span_id if client is not None else None,
-            "started_wall": time.time(),
-            "started": time.perf_counter(),
+            # wall stamp derived from the same monotonic reading via the
+            # process clock anchor: child spans whose starts are computed as
+            # wall-now minus monotonic durations can never precede the root
+            "started_wall": wall_at(started),
+            "started": started,
             "token": current_trace_id.set(trace_id),
         }
 
@@ -337,9 +346,17 @@ class QueryServer:
             self._request_outcomes["rejected"].inc()
             self._finish_request_trace(scope, outcome="rejected")
             return self._error(exc, version, request.request_id)
+        wait = self.request_timeout_seconds
+        if request.deadline_seconds is not None:
+            # don't hold the connection past the caller's own budget
+            wait = min(wait, request.deadline_seconds)
         try:
-            served = future.result(timeout=self.request_timeout_seconds)
+            served = future.result(timeout=wait)
         except FutureTimeoutError:
+            # the waiter is gone: mark the queue entry dead so the batcher
+            # sheds it instead of executing zombie work, and release its
+            # cost reservation *now* rather than when its batch would end
+            self.batcher.abandon(future, request_id=request.request_id)
             self._request_outcomes["timeout"].inc()
             self._finish_request_trace(scope, outcome="timeout")
             envelope = ErrorEnvelope.timeout(
@@ -347,6 +364,10 @@ class QueryServer:
                 request_id=request.request_id,
             )
             return envelope.http_status, envelope.to_wire(version)
+        except DeadlineExceededError as exc:  # shed in the admission queue
+            self._request_outcomes["timeout"].inc()
+            self._finish_request_trace(scope, outcome="shed")
+            return self._error(exc, version, request.request_id)
         except Exception as exc:  # execution error inside the pipeline
             self._request_outcomes["error"].inc()
             self._finish_request_trace(scope, outcome="error")
@@ -361,6 +382,94 @@ class QueryServer:
         if scope is not None:
             response.trace_id = scope["trace_id"]
         return 200, response.to_wire(version)
+
+    def batch_stream(self, payload: dict):
+        """Validate a ``POST /batch`` payload; return the response-line stream.
+
+        The payload is ``{"queries": [<v1-or-v2 request envelope>, ...]}``.
+        Every query is admitted up front (one connection, one submission
+        round-trip for the whole batch), then per-query outcomes stream back
+        as NDJSON lines ``{"index": i, ...envelope}`` in *completion* order —
+        a straggler never holds up answers that are already done.  Per-item
+        protocol and admission errors become error-envelope lines for their
+        index; queries still unfinished at the request timeout are abandoned
+        (dead work shed, cost released) and answered with ``timeout`` lines.
+        Raises :class:`ProtocolError` when the outer payload is malformed.
+        """
+        if not isinstance(payload, dict):
+            raise ProtocolError("batch payload must be a JSON object")
+        queries = payload.get("queries")
+        if not isinstance(queries, list) or not queries:
+            raise ProtocolError(
+                "'queries' must be a non-empty list of request envelopes")
+        return self._batch_lines(queries)
+
+    def _batch_lines(self, queries: list):
+        """The generator behind :meth:`batch_stream` (validated input)."""
+        futures: dict = {}
+        immediate: list[dict] = []
+        for index, item in enumerate(queries):
+            started = time.perf_counter()
+            try:
+                request, version = parse_request(item)
+            except ProtocolError as exc:
+                self._request_outcomes["protocol-error"].inc()
+                immediate.append({"index": index,
+                                  **self._error(exc, PROTOCOL_VERSION)[1]})
+                continue
+            self.recorder.record(request)
+            try:
+                future = self.batcher.submit(request)
+            except Exception as exc:  # admission rejected / draining
+                self._request_outcomes["rejected"].inc()
+                immediate.append({
+                    "index": index,
+                    **self._error(exc, version, request.request_id)[1],
+                })
+                continue
+            futures[future] = (index, request, version, started)
+        yield from immediate
+        limit = time.monotonic() + self.request_timeout_seconds
+        pending = set(futures)
+        while pending:
+            remaining = limit - time.monotonic()
+            if remaining <= 0:
+                break
+            done, pending = futures_wait(pending, timeout=remaining,
+                                         return_when=FIRST_COMPLETED)
+            if not done:
+                break
+            for future in done:
+                index, request, version, started = futures[future]
+                yield {"index": index,
+                       **self._batch_outcome(future, request, version, started)}
+        for future in pending:  # request timeout: shed the zombie work
+            index, request, version, _ = futures[future]
+            self.batcher.abandon(future, request_id=request.request_id)
+            self._request_outcomes["timeout"].inc()
+            envelope = ErrorEnvelope.timeout(
+                "query timed out in the serving pipeline",
+                request_id=request.request_id,
+            )
+            yield {"index": index, **envelope.to_wire(version)}
+
+    def _batch_outcome(self, future, request, version: int,
+                       started: float) -> dict:
+        """The wire body for one completed batch future."""
+        try:
+            served = future.result()
+        except DeadlineExceededError as exc:  # shed in the admission queue
+            self._request_outcomes["timeout"].inc()
+            return self._error(exc, version, request.request_id)[1]
+        except Exception as exc:
+            self._request_outcomes["error"].inc()
+            logger.warning("query %s failed in the pipeline: %s: %s",
+                           request.request_id, type(exc).__name__, exc)
+            return self._error(exc, version, request.request_id)[1]
+        self._request_outcomes["ok"].inc()
+        self._request_latency.observe(time.perf_counter() - started)
+        self._queue_latency.observe(served.queue_seconds)
+        return served.to_response(request_id=request.request_id).to_wire(version)
 
     def protocol(self) -> dict:
         """The ``/protocol`` payload: wire versions this server speaks."""
@@ -549,6 +658,15 @@ def _make_handler(server: QueryServer) -> type[BaseHTTPRequestHandler]:
                 return
             if self.path == "/query":
                 status, body = server.serve_query(payload)
+            elif self.path == "/batch":
+                try:
+                    lines = server.batch_stream(payload)
+                except ProtocolError as exc:
+                    status, body = server._error(exc, PROTOCOL_VERSION)
+                    self._reply(status, body)
+                    return
+                self._reply_stream(lines)
+                return
             elif self.path == "/record/start":
                 status, body = server.record_start(
                     payload if isinstance(payload, dict) else {}
@@ -586,6 +704,23 @@ def _make_handler(server: QueryServer) -> type[BaseHTTPRequestHandler]:
             self.send_header("Content-Length", str(len(body)))
             self.end_headers()
             self.wfile.write(body)
+
+        def _reply_stream(self, lines) -> None:
+            """Stream NDJSON result lines as they complete (``POST /batch``).
+
+            Results arrive in completion order, so Content-Length is unknown
+            up front: the response is framed by connection close instead —
+            the one framing every HTTP/1.x client understands without
+            chunked-decoding support.
+            """
+            self.send_response(200)
+            self.send_header("Content-Type", "application/x-ndjson")
+            self.send_header("Connection", "close")
+            self.end_headers()
+            self.close_connection = True
+            for item in lines:
+                self.wfile.write(json.dumps(item).encode("utf-8") + b"\n")
+                self.wfile.flush()
 
         def _reply_text(self, status: int, text: str) -> None:
             body = text.encode("utf-8")

@@ -2,7 +2,11 @@
 
 The serving hot path of the subsystem.  Incoming queries land in a *bounded*
 admission queue (backpressure: a full queue rejects the request — the HTTP
-layer maps that to 429).  With ``admission_mode="cost-based"`` admission is
+layer maps that to 429).  The queue is a priority queue: entries are ordered
+by priority band (higher ``priority`` first), earliest deadline first within
+a band, FIFO among peers — so under load the dispatcher always spends the
+next batch slot on the most urgent work still worth doing.  With
+``admission_mode="cost-based"`` admission is
 additionally *shard-aware*: each query's scatter plan is priced per shard
 (planned candidate count × the shard's observed per-test cost, via
 ``estimate_shard_costs``) and reserved against a per-shard outstanding-cost
@@ -17,6 +21,14 @@ overlaps B verification stages instead of serialising them.  Each caller
 holds a :class:`~concurrent.futures.Future` that resolves to a
 :class:`ServedQuery` when its batch completes.
 
+Dead work is *shed*, never executed: at batch-build time the dispatcher
+drops entries whose deadline already expired (their future raises the typed
+:class:`~repro.errors.DeadlineExceededError`, the wire ``timeout``/504) and
+entries whose waiter gave up (:meth:`RequestBatcher.abandon` — the server's
+request-timeout path).  Either way the entry's cost reservation is released
+the moment it becomes dead, and both shed reasons are counted in
+:class:`BatcherStats`.
+
 Shutdown is graceful by default: ``close(drain=True)`` stops admission,
 executes everything already queued, and only then joins the dispatcher —
 nothing accepted is ever dropped.  The async ``CacheMaintenanceWorker``
@@ -26,6 +38,9 @@ library use; batches drain it via ``run_queries_concurrent`` itself.
 
 from __future__ import annotations
 
+import heapq
+import itertools
+import math
 import queue
 import threading
 import time
@@ -35,7 +50,12 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Union
 
 from repro.api.envelopes import QueryRequest, QueryResponse
-from repro.errors import AdmissionRejectedError, ConfigurationError, ServerClosedError
+from repro.errors import (
+    AdmissionRejectedError,
+    ConfigurationError,
+    DeadlineExceededError,
+    ServerClosedError,
+)
 from repro.obs.logs import get_logger
 from repro.query_model import Query
 from repro.runtime.config import ADMISSION_MODES
@@ -48,6 +68,12 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     AnySystem = Union[GraphCacheSystem, "ShardedGraphCacheSystem"]
 
 _STOP = object()
+
+#: Heap key of the stop marker: sorts after every real entry (priorities are
+#: finite ints, so ``-priority`` can never reach ``inf``), which is exactly
+#: the drain semantics the FIFO queue had — everything admitted before
+#: ``close()`` is processed first, then the dispatcher sees the marker.
+_STOP_KEY = (math.inf, math.inf, math.inf)
 
 logger = get_logger("server.batcher")
 
@@ -78,8 +104,85 @@ class _Pending:
     future: Future
     enqueued_at: float
     #: Per-shard estimated cost (seconds) reserved at admission under
-    #: cost-based mode; released when the query's batch completes.
+    #: cost-based mode; released when the query's batch completes — or the
+    #: moment the entry goes dead (deadline expiry / abandonment).
     costs: dict[int, float] | None = None
+    #: Absolute monotonic deadline (None = no deadline).
+    deadline: float | None = None
+    #: The caller's relative budget in seconds (for the shed error message).
+    deadline_budget: float | None = None
+    priority: int = 0
+    request_id: str | int | None = None
+    #: Set by :meth:`RequestBatcher.abandon`: the waiter gave up, skip this
+    #: entry at batch-build time instead of executing dead work.
+    abandoned: bool = False
+
+
+class _PendingQueue:
+    """Bounded priority queue of :class:`_Pending` entries (plus ``_STOP``).
+
+    Ordering: priority band descending, earliest deadline first within a
+    band (no deadline sorts last), submission order among peers.  The stop
+    marker is exempt from the bound and sorts after everything, preserving
+    the drain-first shutdown contract of the FIFO queue this replaces.
+    Raises the :mod:`queue` module's ``Full``/``Empty`` so call sites keep
+    their stdlib error handling.
+    """
+
+    def __init__(self, maxsize: int) -> None:
+        self.maxsize = maxsize
+        self._heap: list[tuple[tuple, object]] = []
+        self._size = 0  # real entries only; _STOP is not counted
+        self._seq = itertools.count()
+        self._mutex = threading.Lock()
+        self._not_empty = threading.Condition(self._mutex)
+
+    def _key(self, item) -> tuple:
+        if item is _STOP:
+            return _STOP_KEY
+        deadline = item.deadline if item.deadline is not None else math.inf
+        return (-item.priority, deadline, next(self._seq))
+
+    def put_nowait(self, item) -> None:
+        with self._mutex:
+            if item is not _STOP and self._size >= self.maxsize:
+                raise queue.Full
+            heapq.heappush(self._heap, (self._key(item), item))
+            if item is not _STOP:
+                self._size += 1
+            self._not_empty.notify()
+
+    put = put_nowait  # close() never blocks: the stop marker is unbounded
+
+    def _pop(self):
+        _, item = heapq.heappop(self._heap)
+        if item is not _STOP:
+            self._size -= 1
+        return item
+
+    def get(self, timeout: float | None = None):
+        with self._not_empty:
+            if timeout is None:
+                while not self._heap:
+                    self._not_empty.wait()
+            else:
+                limit = time.monotonic() + timeout
+                while not self._heap:
+                    remaining = limit - time.monotonic()
+                    if remaining <= 0:
+                        raise queue.Empty
+                    self._not_empty.wait(remaining)
+            return self._pop()
+
+    def get_nowait(self):
+        with self._mutex:
+            if not self._heap:
+                raise queue.Empty
+            return self._pop()
+
+    def qsize(self) -> int:
+        with self._mutex:
+            return self._size
 
 
 @dataclass
@@ -93,6 +196,12 @@ class BatcherStats:
     rejected_cost: int = 0
     served: int = 0
     failed: int = 0
+    #: Admitted entries dropped at batch-build time because their deadline
+    #: expired while queued (future raises ``DeadlineExceededError``).
+    shed_expired: int = 0
+    #: Admitted entries dropped because the waiter abandoned them (the
+    #: server's request-timeout path): no zombie execution, no held cost.
+    shed_abandoned: int = 0
     batches: int = 0
     largest_batch: int = 0
     queue_depth: int = 0
@@ -104,6 +213,11 @@ class BatcherStats:
     def mean_batch_size(self) -> float:
         return (self.served + self.failed) / self.batches if self.batches else 0.0
 
+    @property
+    def shed(self) -> int:
+        """Total dead work dropped before execution, for either reason."""
+        return self.shed_expired + self.shed_abandoned
+
     def to_dict(self) -> dict:
         return {
             "submitted": self.submitted,
@@ -111,6 +225,9 @@ class BatcherStats:
             "rejected_cost": self.rejected_cost,
             "served": self.served,
             "failed": self.failed,
+            "shed": self.shed,
+            "shed_expired": self.shed_expired,
+            "shed_abandoned": self.shed_abandoned,
             "batches": self.batches,
             "largest_batch": self.largest_batch,
             "mean_batch_size": round(self.mean_batch_size, 3),
@@ -166,7 +283,7 @@ class RequestBatcher:
         #: a query whose plan touches a shard over budget is rejected while
         #: queries for the other shards keep flowing.
         self.max_shard_cost_seconds = max_shard_cost_seconds
-        self._queue: queue.Queue = queue.Queue(maxsize=max_queue_depth)
+        self._queue = _PendingQueue(maxsize=max_queue_depth)
         self._stats = BatcherStats(admission_mode=admission_mode)
         self._stats_lock = threading.Lock()
         #: Estimated cost (seconds) reserved per shard for queries admitted
@@ -186,20 +303,46 @@ class RequestBatcher:
     # ------------------------------------------------------------------ #
     # admission
     # ------------------------------------------------------------------ #
-    def submit(self, query: Query | QueryRequest) -> Future:
+    def submit(
+        self,
+        query: Query | QueryRequest,
+        deadline_seconds: float | None = None,
+        priority: int | None = None,
+    ) -> Future:
         """Enqueue one query; the future resolves to a :class:`ServedQuery`.
 
         Accepts an executable :class:`Query` or a
         :class:`~repro.api.envelopes.QueryRequest` envelope (the server's
-        native currency), which is unwrapped here.  Raises
+        native currency), which is unwrapped here; an envelope's own
+        ``deadline_seconds``/``priority`` fields apply unless the keyword
+        overrides them.  A deadline starts ticking now — expire while queued
+        and the dispatcher sheds the entry (future raises
+        :class:`DeadlineExceededError`) instead of executing it.  Raises
         :class:`AdmissionRejectedError` when the bounded queue is full, or —
         in cost-based mode — when a shard the query's scatter plan targets
         has exhausted its outstanding-cost budget (the error then names the
         hot shard); :class:`ServerClosedError` once draining started.
         """
+        request_id: str | int | None = None
         if isinstance(query, QueryRequest):
+            if deadline_seconds is None:
+                deadline_seconds = query.deadline_seconds
+            if priority is None:
+                priority = query.priority
+            request_id = query.request_id
             query = query.to_query()
-        pending = _Pending(query=query, future=Future(), enqueued_at=time.monotonic())
+        now = time.monotonic()
+        pending = _Pending(
+            query=query,
+            future=Future(),
+            enqueued_at=now,
+            deadline=now + deadline_seconds if deadline_seconds is not None else None,
+            deadline_budget=deadline_seconds,
+            priority=priority or 0,
+            request_id=request_id,
+        )
+        # lets abandon() find the queue entry behind the future it hands out
+        pending.future._gc_pending = pending
         if self.admission_mode == "cost-based":
             pending.costs = self._reserve_costs(query)
         with self._admission_lock:
@@ -247,17 +390,82 @@ class RequestBatcher:
         return costs
 
     def _release_costs(self, pending: _Pending) -> None:
-        """Return a completed/refused query's reserved cost to its shards."""
-        if not pending.costs:
-            return
+        """Return a dead/completed query's reserved cost to its shards.
+
+        Idempotent and race-free: the costs are swapped out under the stats
+        lock, so a concurrent second release (abandon() racing the
+        dispatcher) can never double-credit a shard.
+        """
         with self._stats_lock:
-            for shard, cost in pending.costs.items():
+            costs, pending.costs = pending.costs, None
+            if not costs:
+                return
+            for shard, cost in costs.items():
                 remaining = self._outstanding.get(shard, 0.0) - cost
                 if remaining <= 1e-12:
                     self._outstanding.pop(shard, None)
                 else:
                     self._outstanding[shard] = remaining
-        pending.costs = None
+
+    # ------------------------------------------------------------------ #
+    # dead-work shedding
+    # ------------------------------------------------------------------ #
+    def abandon(self, future: Future, request_id: str | int | None = None) -> bool:
+        """Mark a submitted future's queue entry dead: its waiter gave up.
+
+        The server's request-timeout path calls this after ``future.result``
+        times out.  The entry's cost reservation is released *immediately*
+        (no zombie holding shard budget until its batch finishes) and the
+        dispatcher skips the entry at batch-build time instead of executing
+        it.  A done-callback keeps the future observed: should the entry
+        slip into a batch anyway (already coalesced when abandoned) a later
+        pipeline exception is logged with the request id rather than lost.
+        Returns False for futures this batcher didn't issue.
+        """
+        pending = getattr(future, "_gc_pending", None)
+        if pending is None:
+            return False
+        pending.abandoned = True
+        self._release_costs(pending)
+        who = request_id if request_id is not None else pending.request_id
+        label = repr(who) if who is not None else "<no request id>"
+
+        def _observe(done: Future) -> None:
+            if done.cancelled():
+                logger.debug("abandoned query %s shed before execution", label)
+                return
+            exc = done.exception()
+            if exc is None:
+                logger.debug("abandoned query %s completed after its waiter "
+                             "timed out; result discarded", label)
+            elif isinstance(exc, DeadlineExceededError):
+                logger.debug("abandoned query %s shed on deadline expiry", label)
+            else:
+                logger.warning("abandoned query %s failed later in the "
+                               "pipeline: %s: %s", label, type(exc).__name__, exc)
+
+        future.add_done_callback(_observe)
+        return True
+
+    def _shed(self, pending: _Pending) -> bool:
+        """Drop a dead queue entry (dispatcher thread only); True if shed."""
+        if pending.abandoned:
+            self._release_costs(pending)
+            pending.future.cancel()
+            with self._stats_lock:
+                self._stats.shed_abandoned += 1
+            return True
+        if pending.deadline is not None and time.monotonic() >= pending.deadline:
+            self._release_costs(pending)
+            pending.future.set_exception(DeadlineExceededError(
+                "query deadline expired in the admission queue; "
+                "shed before execution",
+                deadline_seconds=pending.deadline_budget,
+            ))
+            with self._stats_lock:
+                self._stats.shed_expired += 1
+            return True
+        return False
 
     def stats(self) -> BatcherStats:
         """A point-in-time copy of the serving counters."""
@@ -265,7 +473,8 @@ class RequestBatcher:
             snapshot = BatcherStats(**{
                 name: getattr(self._stats, name)
                 for name in ("submitted", "rejected", "rejected_cost", "served",
-                             "failed", "batches", "largest_batch")
+                             "failed", "shed_expired", "shed_abandoned",
+                             "batches", "largest_batch")
             })
             snapshot.shard_outstanding = dict(self._outstanding)
         snapshot.admission_mode = self.admission_mode
@@ -300,11 +509,13 @@ class RequestBatcher:
                 break
             if self._closed and not self._drain_on_close:
                 # closing without drain: refuse instead of executing (the
-                # stop marker is FIFO-queued behind these, so check the flag)
+                # stop marker sorts behind these, so check the flag)
                 self._release_costs(head)
                 head.future.set_exception(
                     ServerClosedError("batcher shut down before this query ran")
                 )
+                continue
+            if self._shed(head):
                 continue
             batch = [head]
             deadline = time.monotonic() + self.max_delay_seconds
@@ -321,6 +532,8 @@ class RequestBatcher:
                 if item is _STOP:
                     stopping = True
                     break
+                if self._shed(item):
+                    continue
                 batch.append(item)
             self._execute(batch)
         # the admission lock makes _STOP the last item ever queued, so once

@@ -12,7 +12,9 @@ from repro.workload.replay import (
     ReplayEvent,
     ReplayResult,
     generate_trace,
+    parse_priority_mix,
     replay_trace,
+    with_serving_fields,
 )
 from repro.workload.runner import (
     WorkloadRunResult,
@@ -39,5 +41,7 @@ __all__ = [
     "ReplayResult",
     "replay_trace",
     "generate_trace",
+    "parse_priority_mix",
+    "with_serving_fields",
     "TRACE_SKEWS",
 ]

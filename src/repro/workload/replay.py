@@ -29,11 +29,12 @@ Everything is deterministic under a fixed seed.
 from __future__ import annotations
 
 import math
+import random
 import threading
 import time
 from dataclasses import dataclass, field
 
-from repro.api.envelopes import wire_error_message, wire_result
+from repro.api.envelopes import as_request, wire_error_message, wire_result
 from repro.api.remote import RemoteGraphService
 from repro.errors import ServerError, WorkloadError
 from repro.graph.graph import Graph
@@ -43,6 +44,70 @@ from repro.workload.workload import Workload
 
 #: The skew names ``generate_trace`` accepts, mapped to mix settings.
 TRACE_SKEWS = ("uniform", "zipfian", "drifting")
+
+
+def parse_priority_mix(spec: str) -> list[tuple[int, float]]:
+    """Parse ``"0:0.8,10:0.2"`` into ``[(priority, weight), ...]``.
+
+    The CLI's ``--priority-mix`` format: comma-separated ``priority:weight``
+    pairs.  Weights need not sum to 1 — they are relative.
+    """
+    mix: list[tuple[int, float]] = []
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        priority_text, _, weight_text = part.partition(":")
+        try:
+            priority = int(priority_text)
+            weight = float(weight_text) if weight_text else 1.0
+        except ValueError:
+            raise WorkloadError(
+                f"malformed priority mix entry {part!r}; "
+                "expected 'priority:weight' pairs like '0:0.8,10:0.2'"
+            ) from None
+        if weight <= 0:
+            raise WorkloadError(f"priority mix weight must be positive: {part!r}")
+        mix.append((priority, weight))
+    if not mix:
+        raise WorkloadError(f"empty priority mix {spec!r}")
+    return mix
+
+
+def with_serving_fields(
+    queries: list,
+    deadline_seconds: float | None = None,
+    priority_mix: str | list[tuple[int, float]] | None = None,
+    seed: int = 2018,
+) -> list:
+    """Stamp deadline/priority onto a trace's queries as request envelopes.
+
+    With neither knob set the queries pass through untouched.  A priority
+    mix draws each query's band from the weighted choices deterministically
+    under ``seed``, so two replays of the same trace (e.g. a deadline arm
+    and its no-deadline reference) agree on which query got which priority.
+    """
+    if deadline_seconds is None and not priority_mix:
+        return list(queries)
+    priorities = None
+    if priority_mix:
+        mix = (parse_priority_mix(priority_mix)
+               if isinstance(priority_mix, str) else list(priority_mix))
+        rng = random.Random(seed)
+        priorities = rng.choices(
+            [priority for priority, _ in mix],
+            weights=[weight for _, weight in mix],
+            k=len(queries),
+        )
+    requests = []
+    for index, query in enumerate(queries):
+        request = as_request(query)
+        if deadline_seconds is not None:
+            request.deadline_seconds = deadline_seconds
+        if priorities is not None:
+            request.priority = priorities[index]
+        requests.append(request)
+    return requests
 
 
 class QueryServerClient(RemoteGraphService):
@@ -90,6 +155,8 @@ class ReplayEvent:
     batch_size: int | None = None
     queue_seconds: float | None = None
     error: str | None = None
+    #: Priority band the replayed request carried (None when unset).
+    priority: int | None = None
 
 
 @dataclass
@@ -114,8 +181,13 @@ class ReplayResult:
         return sum(1 for event in self.events if event.status == 429)
 
     @property
+    def timeouts(self) -> int:
+        """Requests answered 504: request timeout or deadline shed."""
+        return sum(1 for event in self.events if event.status == 504)
+
+    @property
     def errors(self) -> int:
-        return sum(1 for e in self.events if e.status not in (200, 429))
+        return sum(1 for e in self.events if e.status not in (200, 429, 504))
 
     @property
     def achieved_qps(self) -> float:
@@ -153,6 +225,7 @@ class ReplayResult:
             "queries": len(self.events),
             "served": self.served,
             "rejected": self.rejected,
+            "timeouts": self.timeouts,
             "errors": self.errors,
             "elapsed_seconds": round(self.elapsed_seconds, 4),
             "achieved_qps": round(self.achieved_qps, 1),
@@ -173,6 +246,8 @@ def replay_trace(
     trace: Workload,
     target_qps: float | None = None,
     num_threads: int = 4,
+    deadline_seconds: float | None = None,
+    priority_mix: str | list[tuple[int, float]] | None = None,
 ) -> ReplayResult:
     """Replay ``trace`` against the server from concurrent client threads.
 
@@ -186,12 +261,19 @@ def replay_trace(
     query *i* is released at ``i / target_qps`` seconds after the start, so a
     server slower than the offered load accumulates queue delay (and 429s)
     instead of silently throttling the generator.
+
+    ``deadline_seconds`` stamps a per-query deadline on every request (the
+    server sheds work it cannot start in time: 504 lines show up under
+    ``timeouts``, never as errors); ``priority_mix`` — ``"0:0.8,10:0.2"`` or
+    ``[(priority, weight), ...]`` — assigns priority bands deterministically
+    (v2 envelope fields; a v1-pinned client drops them on the wire).
     """
     if target_qps is not None and target_qps <= 0:
         raise WorkloadError("target_qps must be positive (or None for closed-loop)")
     if num_threads < 1:
         raise WorkloadError("num_threads must be at least 1")
-    queries = list(trace)
+    queries = with_serving_fields(list(trace), deadline_seconds=deadline_seconds,
+                                  priority_mix=priority_mix)
     events: list[ReplayEvent | None] = [None] * len(queries)
     cursor = iter(range(len(queries)))
     cursor_lock = threading.Lock()
@@ -210,6 +292,7 @@ def replay_trace(
                 if delay > 0:
                     time.sleep(delay)
             sent = time.perf_counter()
+            priority = getattr(queries[index], "priority", None)
             try:
                 status, payload = client.send(queries[index])
             except Exception as exc:  # transport failure, not a server verdict
@@ -217,6 +300,7 @@ def replay_trace(
                     index=index, status=-1,
                     latency_seconds=time.perf_counter() - sent,
                     error=f"{type(exc).__name__}: {exc}",
+                    priority=priority,
                 )
                 continue
             latency = time.perf_counter() - sent
@@ -230,6 +314,7 @@ def replay_trace(
                 batch_size=server_meta.get("batch_size"),
                 queue_seconds=server_meta.get("queue_seconds"),
                 error=None if status == 200 else wire_error_message(payload),
+                priority=priority,
             )
 
     threads = [
